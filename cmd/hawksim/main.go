@@ -1,0 +1,122 @@
+// Command hawksim runs packets through a parser specification (and
+// optionally its compiled implementation) and prints the parsed fields —
+// the interactive counterpart of the §7.1 correctness simulator.
+//
+// Usage:
+//
+//	hawksim -spec parser.p4 -hex 0800450000...      # parse wire bytes
+//	hawksim -spec parser.p4 -bits 0100_1010          # parse a bit string
+//	hawksim -spec parser.p4 -random 20               # 20 random inputs
+//	hawksim -spec parser.p4 -compile -target ipu -hex ...   # spec AND impl
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"parserhawk"
+	"parserhawk/internal/bitstream"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "parser specification (.p4)")
+		hexIn    = flag.String("hex", "", "packet bytes in hex")
+		bitsIn   = flag.String("bits", "", "packet as a bit string (0/1, '_' ignored)")
+		random   = flag.Int("random", 0, "parse N random inputs instead")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compile  = flag.Bool("compile", false, "also compile and compare the implementation")
+		target   = flag.String("target", "tofino", "compile target: tofino or ipu")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "compile budget")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "hawksim: -spec is required")
+		os.Exit(2)
+	}
+	spec, err := parserhawk.ParseSpecFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var prog *parserhawk.Program
+	if *compile {
+		profile := parserhawk.Tofino()
+		if *target == "ipu" {
+			profile = parserhawk.IPU()
+		}
+		opts := parserhawk.DefaultOptions()
+		opts.Timeout = *timeout
+		res, err := parserhawk.Compile(spec, profile, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: compile: %v\n", err)
+			os.Exit(1)
+		}
+		prog = res.Program
+		fmt.Printf("compiled for %s: %d entries, %d stages\n\n",
+			profile.Name, res.Resources.Entries, res.Resources.Stages)
+	}
+
+	var inputs []parserhawk.Bits
+	switch {
+	case *hexIn != "":
+		raw, err := hex.DecodeString(strings.ReplaceAll(*hexIn, " ", ""))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hawksim: bad hex:", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, parserhawk.BitsOf(raw))
+	case *bitsIn != "":
+		b, err := bitstream.FromString(*bitsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hawksim:", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, b)
+	case *random > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		n := spec.MaxConsumedBits(0) + spec.LookaheadUse()
+		for i := 0; i < *random; i++ {
+			inputs = append(inputs, bitstream.Random(rng, n))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "hawksim: provide -hex, -bits, or -random")
+		os.Exit(2)
+	}
+
+	mismatches := 0
+	for _, in := range inputs {
+		res := spec.Run(in, 0)
+		outcome := "accept"
+		if res.Rejected {
+			outcome = "reject"
+		}
+		fmt.Printf("input  %s\nspec   %s", in, outcome)
+		for _, name := range spec.SortedFieldNames() {
+			if v, ok := res.Dict[name]; ok {
+				fmt.Printf("  %s=%s", name, v)
+			}
+		}
+		fmt.Println()
+		if prog != nil {
+			impl := prog.Run(in, 0)
+			if impl.Same(res) {
+				fmt.Println("impl   identical")
+			} else {
+				mismatches++
+				fmt.Printf("impl   MISMATCH: acc=%v dict=%v\n", impl.Accepted, impl.Dict)
+			}
+		}
+		fmt.Println()
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "hawksim: %d mismatches\n", mismatches)
+		os.Exit(1)
+	}
+}

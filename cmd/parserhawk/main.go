@@ -1,0 +1,117 @@
+// Command parserhawk compiles a P4 parser specification into a TCAM
+// parser program for a target device.
+//
+// Usage:
+//
+//	parserhawk -target tofino  parser.p4
+//	parserhawk -target ipu     parser.p4
+//	parserhawk -target custom -key 4 -lookahead 8 -extract 16 parser.p4
+//	parserhawk -naive -timeout 30s parser.p4      # the paper's Orig mode
+//
+// The compiled TCAM entries, resource usage, and synthesis statistics are
+// printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parserhawk"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "tofino", "target device: tofino, ipu, or custom")
+		key       = flag.Int("key", 8, "custom target: transition-key width limit (bits)")
+		lookahead = flag.Int("lookahead", 16, "custom target: lookahead window (bits)")
+		extract   = flag.Int("extract", 64, "custom target: per-entry extraction limit (bits)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "compilation time budget")
+		naive     = flag.Bool("naive", false, "disable all synthesis optimizations (the paper's Orig mode)")
+		maxIter   = flag.Int("unroll", 0, "loop unroll depth for pipelined targets (0 = default)")
+		verify    = flag.Bool("verify", true, "run the spec-vs-implementation equivalence check")
+		quiet     = flag.Bool("q", false, "print only the TCAM program")
+		emitJSON  = flag.Bool("json", false, "emit the compiled program as deployment JSON")
+		emitP4    = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: parserhawk [flags] parser.p4")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var profile parserhawk.Profile
+	switch *target {
+	case "tofino":
+		profile = parserhawk.Tofino()
+	case "ipu":
+		profile = parserhawk.IPU()
+	case "custom":
+		profile = parserhawk.Custom(*key, *lookahead, *extract)
+	default:
+		fmt.Fprintf(os.Stderr, "parserhawk: unknown target %q\n", *target)
+		os.Exit(2)
+	}
+
+	opts := parserhawk.DefaultOptions()
+	if *naive {
+		opts = parserhawk.NaiveOptions()
+	}
+	opts.Timeout = *timeout
+	opts.MaxIterations = *maxIter
+
+	spec, err := parserhawk.ParseSpecFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *emitP4 {
+		out, err := parserhawk.PrintSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	start := time.Now()
+	res, err := parserhawk.Compile(spec, profile, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parserhawk: compilation failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *emitJSON {
+		data, err := parserhawk.EncodeProgramJSON(res.Program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(res.Program)
+	}
+	if *quiet {
+		return
+	}
+	fmt.Printf("\ntarget:            %s (%s)\n", profile.Name, profile.Arch)
+	fmt.Printf("TCAM entries:      %d\n", res.Resources.Entries)
+	fmt.Printf("parser stages:     %d\n", res.Resources.Stages)
+	fmt.Printf("max key width:     %d bits\n", res.Resources.MaxKeyWidth)
+	fmt.Printf("search space:      %d bits (naive encoding)\n", res.Stats.SearchSpaceBits)
+	fmt.Printf("CEGIS iterations:  %d over %d examples\n", res.Stats.CEGISIterations, res.Stats.TestCases)
+	fmt.Printf("compile time:      %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *verify {
+		rep := parserhawk.Verify(spec, res.Program, 0)
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "verification FAILED: %s\n", rep)
+			os.Exit(1)
+		}
+		fmt.Printf("verification:      %s\n", rep)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: compile a classic Ethernet → IPv4 → TCP/UDP parser for the
+// Tofino profile, inspect the synthesized TCAM entries, and push a real
+// packet through the compiled implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parserhawk"
+	"parserhawk/internal/pkt"
+	"parserhawk/internal/sim"
+)
+
+func main() {
+	// The wire-scale parser: real field widths (48-bit MACs, 16-bit
+	// etherType, full IPv4 header).
+	spec, err := parserhawk.ParseSpec(sim.WireParserSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("specification:")
+	fmt.Print(spec)
+
+	res, err := parserhawk.Compile(spec, parserhawk.Tofino(), parserhawk.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsynthesized TCAM program:")
+	fmt.Print(res.Program)
+	fmt.Printf("resources: %d entries, key width %d bits, %d CEGIS iterations (%.2fs)\n",
+		res.Resources.Entries, res.Resources.MaxKeyWidth,
+		res.Stats.CEGISIterations, res.Stats.Elapsed.Seconds())
+
+	// Equivalence check (the paper's §7.1 simulator).
+	rep := parserhawk.Verify(spec, res.Program, 4096)
+	fmt.Println("verification:", rep)
+
+	// Drive a real TCP packet through the compiled parser.
+	raw, err := pkt.TCPPacket(
+		[4]byte{10, 0, 0, 1}, [4]byte{192, 168, 1, 42}, 49152, 443, []byte("hello"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := res.Program.Run(parserhawk.BitsOf(raw), 0)
+	fmt.Printf("\nparsed a %d-byte TCP packet: accepted=%v\n", len(raw), out.Accepted)
+	for _, f := range []string{"ethernet.etherType", "ipv4.protocol", "ipv4.dst", "tcp.dstPort"} {
+		if v, ok := out.Dict[f]; ok {
+			fmt.Printf("  %-22s = %s\n", f, v)
+		}
+	}
+	if got := out.Dict["tcp.dstPort"].Uint(0, 16); got != 443 {
+		log.Fatalf("wrong dstPort: %d", got)
+	}
+	fmt.Println("\nOK: the synthesized parser extracts every field correctly.")
+}

@@ -1,0 +1,50 @@
+// The quickstart parser: wire-scale Ethernet -> IPv4 -> TCP/UDP.
+// Compile it with:
+//
+//   go run ./cmd/parserhawk -target tofino examples/quickstart/parser.p4
+//
+header ethernet {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}
+header ipv4 {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  tos;
+    bit<16> totalLen;
+    bit<16> id;
+    bit<16> fragOff;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header tcp {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+header udp {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+parser EthernetIP {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etherType) {
+            0x0800  : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.protocol) {
+            6       : parse_tcp;
+            17      : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_tcp { extract(tcp); transition accept; }
+    state parse_udp { extract(udp); transition accept; }
+}

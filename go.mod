@@ -1,0 +1,3 @@
+module parserhawk
+
+go 1.22

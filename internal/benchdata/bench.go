@@ -1,0 +1,158 @@
+package benchdata
+
+import (
+	"parserhawk/internal/p4"
+	"parserhawk/internal/pir"
+)
+
+// Benchmark is one evaluated parser program variant.
+type Benchmark struct {
+	// Family groups variants of one base program (the Table 3 sections).
+	Family string
+	// Variant labels the rewrite derivation: "" for the base, "+R1" etc.
+	Variant string
+	Spec    *pir.Spec
+	// MaxIterations bounds loopy programs (and fixes the unroll depth on
+	// pipelined targets); 0 for loop-free programs.
+	MaxIterations int
+}
+
+// Name returns "Family Variant".
+func (b Benchmark) Name() string {
+	if b.Variant == "" {
+		return b.Family
+	}
+	return b.Family + " " + b.Variant
+}
+
+// Additional hand-written variant sources (rewrites that need semantic
+// restructuring rather than a mechanical mutation).
+const (
+	// srcLargeTranKeyR4 is Large tran key with the 16-bit select split by
+	// hand into two chained 8-bit selects (+R4 of Figure 21).
+	srcLargeTranKeyR4 = `
+header big { bit<16> key; }
+header pay { bit<2> tag; }
+parser LargeTranKeyR4 {
+    state start {
+        extract(big);
+        transition select(big.key[15:8]) {
+            0xF0    : low;
+            default : accept;
+        }
+    }
+    state low {
+        transition select(big.key[7:0]) {
+            0xF0    : deliver;
+            0xF1    : deliver;
+            default : accept;
+        }
+    }
+    state deliver { extract(pay); transition accept; }
+}
+`
+
+	// srcMultiKeySameMerged is Multi-key (same pkt field) with the two
+	// keyed states merged into one two-part select (-R5).
+	srcMultiKeySameMerged = `
+header h { bit<8> f; }
+header a { bit<2> x; }
+header b { bit<2> y; }
+parser MultiKeySameMerged {
+    state start {
+        extract(h);
+        transition select(h.f[7:6], h.f[1:0]) {
+            (3, 0)          : both;
+            (3, 0 &&& 0)    : first;
+            default         : accept;
+        }
+    }
+    state first { extract(a); transition accept; }
+    state both  { extract(a); extract(b); transition accept; }
+}
+`
+)
+
+func mustSpec(src string) *pir.Spec { return p4.MustParseSpec(src) }
+
+// All returns the complete evaluated benchmark suite: every Table 3 row
+// (29 programs, each compiled for two targets in the harness).
+func All() []Benchmark {
+	eth := mustSpec(srcParseEthernet)
+	icmp := mustSpec(srcParseICMP)
+	mpls := mustSpec(srcParseMPLS)
+	ltk := mustSpec(srcLargeTranKey)
+	ltkR4 := mustSpec(srcLargeTranKeyR4)
+	mks := mustSpec(srcMultiKeySame)
+	mksMerged := mustSpec(srcMultiKeySameMerged)
+	mkd := mustSpec(srcMultiKeysDiff)
+	pure := mustSpec(srcPureExtraction)
+	sai1 := mustSpec(srcSaiV1)
+	sai2 := mustSpec(srcSaiV2)
+	dash := mustSpec(srcDashV2)
+
+	const mplsIter = 4
+	return []Benchmark{
+		{Family: "Parse Ethernet", Spec: eth},
+		{Family: "Parse Ethernet", Variant: "+R1", Spec: addRedundant(eth, 1)},
+		{Family: "Parse Ethernet", Variant: "-R3", Spec: mergeEntries(eth)},
+		{Family: "Parse Ethernet", Variant: "+R2", Spec: addUnreachable(eth)},
+
+		{Family: "Parse icmp", Spec: icmp},
+		{Family: "Parse icmp", Variant: "+R5", Spec: splitState(icmp)},
+		{Family: "Parse icmp", Variant: "-R3", Spec: mergeEntries(icmp)},
+
+		{Family: "Parse MPLS", Spec: mpls, MaxIterations: mplsIter},
+		{Family: "Parse MPLS", Variant: "+unroll", Spec: mustSpec(srcParseMPLSUnrolled), MaxIterations: mplsIter},
+		{Family: "Parse MPLS", Variant: "-R1", Spec: removeRedundant(mpls), MaxIterations: mplsIter},
+		{Family: "Parse MPLS", Variant: "+R1", Spec: addRedundant(mpls, 2), MaxIterations: mplsIter},
+
+		{Family: "Large tran key", Spec: ltk},
+		{Family: "Large tran key", Variant: "+R4", Spec: ltkR4},
+		{Family: "Large tran key", Variant: "+R1+R4", Spec: addRedundant(ltkR4, 1)},
+		{Family: "Large tran key", Variant: "+R3+R4", Spec: splitEntries(ltkR4)},
+
+		{Family: "Multi-key (same pkt field)", Spec: mks},
+		{Family: "Multi-key (same pkt field)", Variant: "-R5", Spec: mksMerged},
+		{Family: "Multi-key (same pkt field)", Variant: "-R5-R3", Spec: mergeEntries(mksMerged)},
+
+		{Family: "Multi-keys (diff pkt fields)", Spec: mkd},
+		{Family: "Multi-keys (diff pkt fields)", Variant: "+R5", Spec: splitState(mkd)},
+		{Family: "Multi-keys (diff pkt fields)", Variant: "-R5", Spec: mergeStates(mkd)},
+
+		{Family: "Pure Extraction states", Spec: pure},
+		{Family: "Pure Extraction states", Variant: "+state merging", Spec: mustSpec(srcPureExtractionMerged)},
+
+		{Family: "Sai V1", Spec: sai1},
+		{Family: "Sai V1", Variant: "+R2", Spec: addUnreachable(sai1)},
+
+		{Family: "Sai V2", Spec: sai2},
+		{Family: "Sai V2", Variant: "+R1+R2", Spec: addUnreachable(addRedundant(sai2, 3))},
+
+		{Family: "Dash V2", Spec: dash},
+		{Family: "Dash V2", Variant: "+R1+R2", Spec: addUnreachable(addRedundant(dash, 1))},
+	}
+}
+
+// ByName returns the benchmark with the given Name(), or ok=false.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Families returns the distinct family names in suite order.
+func Families() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if !seen[b.Family] {
+			seen[b.Family] = true
+			out = append(out, b.Family)
+		}
+	}
+	return out
+}

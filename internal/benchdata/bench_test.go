@@ -1,0 +1,191 @@
+package benchdata
+
+import (
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/pir"
+)
+
+func TestAllBenchmarksParse(t *testing.T) {
+	bs := All()
+	if len(bs) != 29 {
+		t.Errorf("suite has %d benchmarks, want 29 (the Table 3 rows)", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if b.Spec == nil {
+			t.Fatalf("%s: nil spec", b.Name())
+		}
+		if seen[b.Name()] {
+			t.Errorf("duplicate benchmark name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+}
+
+// TestRewritesPreserveSemantics checks every R-variant against its base
+// on random and exhaustive inputs — Figure 21's rewrites are semantics-
+// preserving by definition.
+func TestRewritesPreserveSemantics(t *testing.T) {
+	base := map[string]Benchmark{}
+	for _, b := range All() {
+		if b.Variant == "" {
+			base[b.Family] = b
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, b := range All() {
+		if b.Variant == "" || b.Variant == "+unroll" || b.Variant == "+state merging" {
+			// Unrolling bounds loop depth and state merging is a separate
+			// source program; both are compared in the core tests instead.
+			continue
+		}
+		bb, ok := base[b.Family]
+		if !ok {
+			t.Fatalf("%s: no base", b.Name())
+		}
+		maxIter := b.MaxIterations
+		if maxIter == 0 {
+			maxIter = pir.DefaultMaxIterations
+		}
+		maxLen := bb.Spec.MaxConsumedBits(maxIter) + bb.Spec.LookaheadUse()
+		checks := 4000
+		exhaustive := false
+		if maxLen <= 14 {
+			checks = 1 << uint(maxLen)
+			exhaustive = true
+		}
+		for i := 0; i < checks; i++ {
+			var in bitstream.Bits
+			if exhaustive {
+				in = bitstream.FromUint(uint64(i), maxLen)
+			} else {
+				in = bitstream.Random(rng, maxLen)
+			}
+			got := b.Spec.Run(in, maxIter)
+			want := bb.Spec.Run(in, maxIter)
+			if !got.Same(want) {
+				t.Fatalf("%s: rewrite changed semantics on %s:\nvariant: acc=%v dict=%v\nbase:    acc=%v dict=%v",
+					b.Name(), in, got.Accepted, got.Dict, want.Accepted, want.Dict)
+			}
+		}
+	}
+}
+
+func TestMutatorsChangeWrittenForm(t *testing.T) {
+	eth, _ := ByName("Parse Ethernet")
+	plus, _ := ByName("Parse Ethernet +R1")
+	if len(plus.Spec.States[0].Rules) <= len(eth.Spec.States[0].Rules) {
+		t.Error("+R1 must add written rules")
+	}
+	minus, _ := ByName("Parse Ethernet -R3")
+	if len(minus.Spec.States[0].Rules) >= len(eth.Spec.States[0].Rules) {
+		t.Error("-R3 must merge written rules")
+	}
+	r2, _ := ByName("Parse Ethernet +R2")
+	if len(r2.Spec.States[0].Rules) != len(eth.Spec.States[0].Rules)+1 {
+		t.Error("+R2 must add exactly one dead rule")
+	}
+}
+
+func TestSplitStateAddsCrossStateKey(t *testing.T) {
+	b, _ := ByName("Parse icmp +R5")
+	// The split introduces a selection-only state whose key references a
+	// field extracted in the previous state.
+	found := false
+	for i := range b.Spec.States {
+		st := &b.Spec.States[i]
+		if len(st.Extracts) == 0 && len(st.Rules) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("+R5 did not produce a selection-only state")
+	}
+}
+
+func TestLargeTranKeyR4SplitsKey(t *testing.T) {
+	b, _ := ByName("Large tran key +R4")
+	for i := range b.Spec.States {
+		if kw := b.Spec.States[i].KeyWidth(); kw > 8 {
+			t.Errorf("state %d key width %d; +R4 should cap at 8", i, kw)
+		}
+	}
+}
+
+func TestByNameAndFamilies(t *testing.T) {
+	if _, ok := ByName("does not exist"); ok {
+		t.Error("ByName must fail for unknown names")
+	}
+	fams := Families()
+	if len(fams) != 10 {
+		t.Errorf("families=%d want 10: %v", len(fams), fams)
+	}
+}
+
+func TestMPLSVariantsAreLoopy(t *testing.T) {
+	for _, name := range []string{"Parse MPLS", "Parse MPLS -R1", "Parse MPLS +R1"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !b.Spec.HasLoop() {
+			t.Errorf("%s must be loopy", name)
+		}
+		if b.MaxIterations == 0 {
+			t.Errorf("%s needs an iteration bound", name)
+		}
+	}
+	un, _ := ByName("Parse MPLS +unroll")
+	if un.Spec.HasLoop() {
+		t.Error("+unroll must be loop-free")
+	}
+}
+
+func TestWireScaleSuite(t *testing.T) {
+	ws := WireScale()
+	if len(ws) != 6 {
+		t.Fatalf("wire suite has %d benchmarks, want 6", len(ws))
+	}
+	for _, b := range ws {
+		if b.Spec == nil {
+			t.Fatalf("%s: nil spec", b.Family)
+		}
+		if b.Spec.HasLoop() {
+			t.Errorf("%s: wire benchmarks are loop-free", b.Family)
+		}
+	}
+	// Geneve carries the wire-scale varbit.
+	g := ws[4]
+	f, ok := g.Spec.Field("geneve.options")
+	if !ok || !f.Var || f.Width != 504 {
+		t.Errorf("geneve options field: %+v", f)
+	}
+	// Parsing a Geneve packet with two 4-byte options lands on the inner
+	// Ethernet at the right offset.
+	in := bitstream.FromUint(0, 16). // udp.srcPort
+						Concat(bitstream.FromUint(6081, 16)).     // udp.dstPort
+						Concat(bitstream.FromUint(0, 32)).        // len+checksum
+						Concat(bitstream.FromUint(2, 8)).         // ver=0, optLen=2
+						Concat(bitstream.FromUint(0, 8)).         // flags
+						Concat(bitstream.FromUint(0x6558, 16)).   // protocolType
+						Concat(bitstream.FromUint(0xABCDEF, 24)). // vni
+						Concat(bitstream.FromUint(0, 8)).         // reserved2
+						Concat(bitstream.FromUint(0, 64)).        // 2 options (8 bytes)
+						Concat(bitstream.FromUint(0x42, 48))      // inner dst starts
+	r := g.Spec.Run(in, 0)
+	if !r.Accepted {
+		t.Fatal("geneve packet must parse")
+	}
+	if got := len(r.Dict["geneve.options"]); got != 64 {
+		t.Errorf("options width=%d want 64", got)
+	}
+	if got := r.Dict["inner_eth.dst"].Uint(0, 48); got != 0x42 {
+		t.Errorf("inner dst=%#x", got)
+	}
+	if got := r.Dict["geneve.vni"].Uint(0, 24); got != 0xABCDEF {
+		t.Errorf("vni=%#x", got)
+	}
+}

@@ -1,0 +1,361 @@
+// Package benchdata holds the evaluation benchmark suite (§7): parser
+// programs re-authored from the paper's sources — Gibb et al.'s realistic
+// parsers, production parsers (switch.p4 / sai.p4 / dash.p4 subsets), and
+// synthetic patterns — plus the semantic-preserving rewrite rules R1–R5 of
+// Figure 21 used to mutate them into the 58 evaluated variants.
+//
+// Field widths are scaled down from wire sizes (a 16-bit etherType becomes
+// 4–6 bits, addresses shrink to a few bits) so that single-core synthesis
+// and exhaustive verification finish in seconds; the state/transition
+// structure — which is what the compilers compete on — matches the paper's
+// benchmarks. DESIGN.md documents this scaling substitution.
+package benchdata
+
+// Base parser programs, written in the P4 subset of internal/p4.
+const (
+	// srcParseEthernet is the classic Ethernet dispatch: one select over
+	// etherType fanning out to IPv4 or IPv6.
+	srcParseEthernet = `
+header eth  { bit<3> dst; bit<3> src; bit<4> etherType; }
+header ipv4 { bit<4> ttl; }
+header ipv6 { bit<4> hop; }
+parser ParseEthernet {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_ipv4;
+            5       : parse_ipv4;
+            6       : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+    state parse_ipv6 { extract(ipv6); transition accept; }
+}
+`
+
+	// srcParseICMP goes one level deeper: Ethernet, IPv4, then ICMP by
+	// protocol number.
+	srcParseICMP = `
+header eth  { bit<4> etherType; }
+header ipv4 { bit<4> proto; bit<3> ttl; }
+header icmp { bit<3> code; }
+parser ParseICMP {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            1       : parse_icmp;
+            3       : parse_icmp;
+            default : accept;
+        }
+    }
+    state parse_icmp { extract(icmp); transition accept; }
+}
+`
+
+	// srcParseMPLS iterates over an MPLS label stack: the bottom-of-stack
+	// bit decides whether to loop. The single-TCAM-table architecture can
+	// realize the whole loop with one revisited entry (§3.1); pipelined
+	// devices must unroll.
+	srcParseMPLS = `
+header mpls { bit<3> label; bit<1> bos; }
+header ipv4 { bit<4> ttl; }
+parser ParseMPLS {
+    state start {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : start;
+            0       : start;
+            default : parse_ipv4;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+}
+`
+
+	// srcParseMPLSUnrolled is the "+ unroll loop" variant: the same
+	// semantics written with the loop manually unrolled three deep, the
+	// form the IPU compiler accepts. ParserHawk's loop-merged skeleton
+	// recovers the single-entry loop on Tofino.
+	srcParseMPLSUnrolled = `
+header mpls { bit<3> label; bit<1> bos; }
+header ipv4 { bit<4> ttl; }
+parser ParseMPLSUnrolled {
+    state start {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : label1;
+            default : parse_ipv4;
+        }
+    }
+    state label1 {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : label2;
+            default : parse_ipv4;
+        }
+    }
+    state label2 {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : reject;
+            default : parse_ipv4;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+}
+`
+
+	// srcLargeTranKey selects over a 16-bit key — wider than the scaled
+	// devices' key limit, so the vendor compilers reject it ("Wide tran
+	// key") while ParserHawk splits it across states (§6.4.3).
+	srcLargeTranKey = `
+header big { bit<16> key; }
+header pay { bit<2> tag; }
+parser LargeTranKey {
+    state start {
+        extract(big);
+        transition select(big.key) {
+            0xF0F0  : deliver;
+            0xF0F1  : deliver;
+            default : accept;
+        }
+    }
+    state deliver { extract(pay); transition accept; }
+}
+`
+
+	// srcMultiKeySame keys on two different slices of the same packet
+	// field in two states ("Multi-key (same pkt field)").
+	srcMultiKeySame = `
+header h { bit<8> f; }
+header a { bit<2> x; }
+header b { bit<2> y; }
+parser MultiKeySame {
+    state start {
+        extract(h);
+        transition select(h.f[7:6]) {
+            3       : mid;
+            default : accept;
+        }
+    }
+    state mid {
+        extract(a);
+        transition select(h.f[1:0]) {
+            0       : leaf;
+            default : accept;
+        }
+    }
+    state leaf { extract(b); transition accept; }
+}
+`
+
+	// srcMultiKeysDiff keys on fields from two different headers in one
+	// select ("Multi-keys (diff pkt fields)").
+	srcMultiKeysDiff = `
+header h1 { bit<3> t; }
+header h2 { bit<3> u; }
+header pl { bit<2> p; }
+parser MultiKeysDiff {
+    state start {
+        extract(h1);
+        transition select(h1.t) {
+            1       : mid;
+            default : accept;
+        }
+    }
+    state mid {
+        extract(h2);
+        transition select(h1.t, h2.u) {
+            (1, 2)  : leaf;
+            (1, 5)  : leaf;
+            default : accept;
+        }
+    }
+    state leaf { extract(pl); transition accept; }
+}
+`
+
+	// srcPureExtraction is a chain of extraction-only states — the
+	// state-merging stress test. A single TCAM entry should cover the
+	// whole chain on Tofino.
+	srcPureExtraction = `
+header w { bit<4> a; }
+header x { bit<4> b; }
+header y { bit<4> c; }
+header z { bit<4> d; }
+header v { bit<4> e; }
+parser PureExtraction {
+    state start  { extract(w); transition s1; }
+    state s1     { extract(x); transition s2; }
+    state s2     { extract(y); transition s3; }
+    state s3     { extract(z); transition s4; }
+    state s4     { extract(v); transition accept; }
+}
+`
+
+	// srcPureExtractionMerged is the "+ state merging" variant with the
+	// chain already merged in source form.
+	srcPureExtractionMerged = `
+header w { bit<4> a; }
+header x { bit<4> b; }
+header y { bit<4> c; }
+header z { bit<4> d; }
+header v { bit<4> e; }
+parser PureExtractionMerged {
+    state start {
+        extract(w);
+        extract(x);
+        extract(y);
+        extract(z);
+        extract(v);
+        transition accept;
+    }
+}
+`
+
+	// srcSaiV1 is a subset of sai.p4's fixed parser: Ethernet dispatch to
+	// IPv4/IPv6, then transport by protocol.
+	srcSaiV1 = `
+header eth  { bit<4> etherType; }
+header ipv4 { bit<3> proto; }
+header ipv6 { bit<3> nexthdr; }
+header udp  { bit<3> sport; }
+parser SaiV1 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_ipv4;
+            6       : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            5       : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_ipv6 {
+        extract(ipv6);
+        transition select(ipv6.nexthdr) {
+            5       : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp { extract(udp); transition accept; }
+}
+`
+
+	// srcSaiV2 is the larger sai.p4 subset: VLAN, both IP versions,
+	// transport dispatch, and tunnel recursion into an inner Ethernet.
+	srcSaiV2 = `
+header eth   { bit<4> etherType; }
+header vlan  { bit<4> innerType; }
+header ipv4  { bit<3> proto; }
+header ipv6  { bit<3> nexthdr; }
+header udp   { bit<4> dport; }
+header tcp   { bit<2> flags; }
+header vxlan { bit<2> vni; }
+header ieth  { bit<2> itype; }
+parser SaiV2 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            1       : parse_vlan;
+            4       : parse_ipv4;
+            6       : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_vlan {
+        extract(vlan);
+        transition select(vlan.innerType) {
+            4       : parse_ipv4;
+            6       : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            5       : parse_udp;
+            6       : parse_tcp;
+            default : accept;
+        }
+    }
+    state parse_ipv6 {
+        extract(ipv6);
+        transition select(ipv6.nexthdr) {
+            5       : parse_udp;
+            6       : parse_tcp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        extract(udp);
+        transition select(udp.dport) {
+            9       : parse_vxlan;
+            default : accept;
+        }
+    }
+    state parse_tcp { extract(tcp); transition accept; }
+    state parse_vxlan { extract(vxlan); transition inner_eth; }
+    state inner_eth { extract(ieth); transition accept; }
+}
+`
+
+	// srcDashV2 is the dash.p4-style wide dispatch: one state fanning out
+	// to many services. Its search space is small (Opt2 shrinks every
+	// service payload to 1 bit) even though it uses many TCAM entries —
+	// the paper's fastest big benchmark.
+	srcDashV2 = `
+header tag { bit<4> svc; }
+header s0  { bit<9> p0; }
+header s1  { bit<9> p1; }
+header s2  { bit<9> p2; }
+header s3  { bit<9> p3; }
+header s4  { bit<9> p4; }
+header s5  { bit<9> p5; }
+header s6  { bit<9> p6; }
+header s7  { bit<9> p7; }
+parser DashV2 {
+    state start {
+        extract(tag);
+        transition select(tag.svc) {
+            0       : svc0;
+            1       : svc1;
+            2       : svc2;
+            3       : svc3;
+            4       : svc4;
+            5       : svc5;
+            6       : svc6;
+            7       : svc7;
+            8       : svc0;
+            9       : svc1;
+            10      : svc2;
+            11      : svc3;
+            12      : svc4;
+            13      : svc5;
+            default : accept;
+        }
+    }
+    state svc0 { extract(s0); transition accept; }
+    state svc1 { extract(s1); transition accept; }
+    state svc2 { extract(s2); transition accept; }
+    state svc3 { extract(s3); transition accept; }
+    state svc4 { extract(s4); transition accept; }
+    state svc5 { extract(s5); transition accept; }
+    state svc6 { extract(s6); transition accept; }
+    state svc7 { extract(s7); transition accept; }
+}
+`
+)

@@ -1,0 +1,302 @@
+package benchdata
+
+import (
+	"fmt"
+
+	"parserhawk/internal/pir"
+)
+
+// The R-rules of Figure 21, implemented as semantics-preserving spec
+// mutators. Each returns a fresh spec; the input is never modified. The
+// mutators capture how real parser programs drift during development:
+// copy-pasted (redundant) rules, dead rules left behind, rules split or
+// merged by hand, keys widened past device limits, and states split or
+// merged for readability.
+
+func cloneStates(spec *pir.Spec) []pir.State {
+	out := make([]pir.State, len(spec.States))
+	for i := range spec.States {
+		st := spec.States[i]
+		out[i] = pir.State{
+			Name:     st.Name,
+			Extracts: append([]pir.Extract(nil), st.Extracts...),
+			Key:      append([]pir.KeyPart(nil), st.Key...),
+			Rules:    append([]pir.Rule(nil), st.Rules...),
+			Default:  st.Default,
+		}
+	}
+	return out
+}
+
+func rebuild(spec *pir.Spec, name string, states []pir.State) *pir.Spec {
+	out, err := pir.New(name, spec.Fields, states)
+	if err != nil {
+		panic(fmt.Sprintf("benchdata: rewrite produced invalid spec: %v", err))
+	}
+	return out
+}
+
+// addRedundant (+R1) appends n copies of each existing rule of the first
+// state that has rules. The copies can never fire (identical pattern,
+// identical target, lower priority) but a written-form compiler pays TCAM
+// entries for them.
+func addRedundant(spec *pir.Spec, n int) *pir.Spec {
+	states := cloneStates(spec)
+	for i := range states {
+		if len(states[i].Rules) == 0 {
+			continue
+		}
+		base := append([]pir.Rule(nil), states[i].Rules...)
+		for c := 0; c < n; c++ {
+			states[i].Rules = append(states[i].Rules, base...)
+		}
+		break
+	}
+	return rebuild(spec, spec.Name+"+R1", states)
+}
+
+// removeRedundant (-R1) deletes rules that exactly duplicate an earlier
+// rule (same value, mask, and target) — the inverse of +R1.
+func removeRedundant(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	for i := range states {
+		var kept []pir.Rule
+		for _, r := range states[i].Rules {
+			dup := false
+			for _, k := range kept {
+				if k.Value == r.Value && k.Mask == r.Mask && k.Next == r.Next {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept = append(kept, r)
+			}
+		}
+		states[i].Rules = kept
+	}
+	return rebuild(spec, spec.Name+"-R1", states)
+}
+
+// addUnreachable (+R2) appends, to the first state with rules, a rule with
+// the same pattern as an existing rule but a different target. First-match
+// priority makes it dead code; written-form compilers either spend an
+// entry on it (Tofino) or report a conflict (IPU).
+func addUnreachable(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	for i := range states {
+		if len(states[i].Rules) == 0 {
+			continue
+		}
+		r := states[i].Rules[0]
+		other := pir.AcceptTarget
+		if r.Next == pir.AcceptTarget {
+			other = pir.RejectTarget
+		}
+		states[i].Rules = append(states[i].Rules, pir.Rule{Value: r.Value, Mask: r.Mask, Next: other})
+		break
+	}
+	return rebuild(spec, spec.Name+"+R2", states)
+}
+
+// mergeEntries (-R3) rewrites each state's rule list by greedily merging
+// same-target rules that differ in one care bit into masked rules — the
+// compact way a careful developer would have written them.
+func mergeEntries(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	intersects := func(a, b pir.Rule) bool {
+		return (a.Value^b.Value)&a.Mask&b.Mask == 0
+	}
+	for i := range states {
+		rules := append([]pir.Rule(nil), states[i].Rules...)
+		for {
+			merged := false
+			for a := 0; a < len(rules) && !merged; a++ {
+				for b := a + 1; b < len(rules) && !merged; b++ {
+					if rules[a].Next != rules[b].Next || rules[a].Mask != rules[b].Mask {
+						continue
+					}
+					diff := (rules[a].Value ^ rules[b].Value) & rules[a].Mask
+					if diff == 0 || diff&(diff-1) != 0 {
+						continue
+					}
+					widened := pir.Rule{Value: rules[a].Value &^ diff, Mask: rules[a].Mask &^ diff, Next: rules[a].Next}
+					widened.Value &= widened.Mask
+					// Merging hoists b's coverage to a's priority; skip if an
+					// intervening rule with another target would be shadowed.
+					safe := true
+					for k := 0; k < b; k++ {
+						if k == a {
+							continue
+						}
+						if rules[k].Next != widened.Next && intersects(rules[k], widened) {
+							safe = false
+							break
+						}
+					}
+					if !safe {
+						continue
+					}
+					rules[a] = widened
+					rules = append(rules[:b], rules[b+1:]...)
+					merged = true
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+		states[i].Rules = rules
+	}
+	return rebuild(spec, spec.Name+"-R3", states)
+}
+
+// splitEntries (+R3) expands each masked rule into the exact values it
+// covers (bounded expansion) — the verbose way the same semantics get
+// written by hand.
+func splitEntries(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	for i := range states {
+		kw := states[i].KeyWidth()
+		if kw == 0 || kw > 12 {
+			continue
+		}
+		var out []pir.Rule
+		for _, r := range states[i].Rules {
+			full := widthMask(kw)
+			wild := ^r.Mask & full
+			if wild == 0 || popcount(wild) > 3 {
+				out = append(out, r)
+				continue
+			}
+			// Enumerate all assignments of the wildcard bits.
+			var bits []uint64
+			for b := uint64(1); b <= full; b <<= 1 {
+				if wild&b != 0 {
+					bits = append(bits, b)
+				}
+			}
+			for m := 0; m < 1<<uint(len(bits)); m++ {
+				v := r.Value & r.Mask
+				for j, b := range bits {
+					if m>>uint(j)&1 == 1 {
+						v |= b
+					}
+				}
+				out = append(out, pir.Rule{Value: v, Mask: full, Next: r.Next})
+			}
+		}
+		states[i].Rules = out
+	}
+	return rebuild(spec, spec.Name+"+R3", states)
+}
+
+// splitState (+R5) splits the first state that both extracts and selects
+// into an extraction-only state followed by a selection-only state whose
+// key references the now-earlier extraction — the cross-state-key shape
+// that trips restricted compilers.
+func splitState(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	for i := range states {
+		if len(states[i].Extracts) == 0 || len(states[i].Rules) == 0 {
+			continue
+		}
+		// Key parts must reference extracted fields (not lookahead) for the
+		// split form to be expressible.
+		ok := true
+		for _, p := range states[i].Key {
+			if p.Lookahead {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		sel := pir.State{
+			Name:    states[i].Name + "_sel",
+			Key:     states[i].Key,
+			Rules:   states[i].Rules,
+			Default: states[i].Default,
+		}
+		states[i].Key = nil
+		states[i].Rules = nil
+		states[i].Default = pir.To(len(states))
+		states = append(states, sel)
+		return rebuild(spec, spec.Name+"+R5", states)
+	}
+	return rebuild(spec, spec.Name+"+R5", states)
+}
+
+// mergeStates (-R5) folds extraction-only states with a single default
+// transition into their successor at the source level — the compact
+// single-state form of the same program.
+func mergeStates(spec *pir.Spec) *pir.Spec {
+	states := cloneStates(spec)
+	for {
+		merged := false
+		for a := 0; a < len(states) && !merged; a++ {
+			if len(states[a].Rules) != 0 || states[a].Default.Kind != pir.ToState {
+				continue
+			}
+			b := states[a].Default.State
+			if b == a {
+				continue
+			}
+			// b must have a as its only predecessor.
+			preds := 0
+			for i := range states {
+				for _, r := range states[i].Rules {
+					if r.Next.Kind == pir.ToState && r.Next.State == b {
+						preds++
+					}
+				}
+				if states[i].Default.Kind == pir.ToState && states[i].Default.State == b {
+					preds++
+				}
+			}
+			if preds != 1 {
+				continue
+			}
+			// Merge: b's work appended to a.
+			states[a].Extracts = append(states[a].Extracts, states[b].Extracts...)
+			states[a].Key = states[b].Key
+			states[a].Rules = states[b].Rules
+			states[a].Default = states[b].Default
+			// Remove b, remapping indices.
+			states = append(states[:b], states[b+1:]...)
+			for i := range states {
+				remap := func(t pir.Target) pir.Target {
+					if t.Kind == pir.ToState && t.State > b {
+						return pir.To(t.State - 1)
+					}
+					return t
+				}
+				for ri := range states[i].Rules {
+					states[i].Rules[ri].Next = remap(states[i].Rules[ri].Next)
+				}
+				states[i].Default = remap(states[i].Default)
+			}
+			merged = true
+		}
+		if !merged {
+			break
+		}
+	}
+	return rebuild(spec, spec.Name+"-R5", states)
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

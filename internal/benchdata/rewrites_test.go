@@ -1,0 +1,118 @@
+package benchdata
+
+import (
+	"testing"
+
+	"parserhawk/internal/pir"
+)
+
+// Direct unit tests for the Figure 21 mutators, complementing the
+// whole-suite semantic check in bench_test.go.
+
+func baseForRewrites() *pir.Spec {
+	return pir.MustNew("base",
+		[]pir.Field{{Name: "h.k", Width: 4}, {Name: "p.x", Width: 2}},
+		[]pir.State{
+			{
+				Name:     "S",
+				Extracts: []pir.Extract{{Field: "h.k"}},
+				Key:      []pir.KeyPart{pir.WholeField("h.k", 4)},
+				Rules: []pir.Rule{
+					pir.ExactRule(4, 4, pir.To(1)),
+					pir.ExactRule(5, 4, pir.To(1)),
+					pir.ExactRule(9, 4, pir.RejectTarget),
+				},
+				Default: pir.AcceptTarget,
+			},
+			{Name: "P", Extracts: []pir.Extract{{Field: "p.x"}}, Default: pir.AcceptTarget},
+		})
+}
+
+func TestAddRedundantCounts(t *testing.T) {
+	s := baseForRewrites()
+	m := addRedundant(s, 2)
+	if got := len(m.States[0].Rules); got != 9 {
+		t.Errorf("rules=%d want 9 (3 originals + 2 copies of each)", got)
+	}
+	if len(s.States[0].Rules) != 3 {
+		t.Error("mutator modified its input")
+	}
+}
+
+func TestRemoveRedundantInvertsAdd(t *testing.T) {
+	s := baseForRewrites()
+	m := removeRedundant(addRedundant(s, 3))
+	if got := len(m.States[0].Rules); got != len(s.States[0].Rules) {
+		t.Errorf("rules=%d want %d", got, len(s.States[0].Rules))
+	}
+}
+
+func TestAddUnreachableIsDead(t *testing.T) {
+	s := baseForRewrites()
+	m := addUnreachable(s)
+	rules := m.States[0].Rules
+	last := rules[len(rules)-1]
+	first := rules[0]
+	if last.Value != first.Value || last.Mask != first.Mask {
+		t.Error("+R2 must duplicate an existing pattern")
+	}
+	if last.Next == first.Next {
+		t.Error("+R2 must change the target (making the rule dead)")
+	}
+}
+
+func TestMergeEntriesCompactsSameTarget(t *testing.T) {
+	s := baseForRewrites()
+	m := mergeEntries(s)
+	// 4 and 5 (010x) share a target and merge; 9 does not.
+	if got := len(m.States[0].Rules); got != 2 {
+		t.Errorf("rules=%d want 2: %+v", got, m.States[0].Rules)
+	}
+}
+
+func TestSplitEntriesExpandsMasks(t *testing.T) {
+	s := mergeEntries(baseForRewrites())
+	m := splitEntries(s)
+	if got := len(m.States[0].Rules); got != 3 {
+		t.Errorf("rules=%d want 3 after re-expansion: %+v", got, m.States[0].Rules)
+	}
+}
+
+func TestSplitStateProducesSelectionOnlyState(t *testing.T) {
+	s := baseForRewrites()
+	m := splitState(s)
+	if len(m.States) != len(s.States)+1 {
+		t.Fatalf("states=%d", len(m.States))
+	}
+	// The original state keeps extraction only.
+	if len(m.States[0].Rules) != 0 || len(m.States[0].Extracts) == 0 {
+		t.Error("first state must become extraction-only")
+	}
+}
+
+func TestMergeStatesFoldsPassThrough(t *testing.T) {
+	split := splitState(baseForRewrites())
+	m := mergeStates(split)
+	if len(m.States) != len(split.States)-1 {
+		t.Errorf("states=%d want %d", len(m.States), len(split.States)-1)
+	}
+}
+
+func TestMutatorsProduceValidSpecs(t *testing.T) {
+	// Every mutator output must pass pir validation (rebuild panics
+	// otherwise) and keep the same field set.
+	s := baseForRewrites()
+	for name, m := range map[string]*pir.Spec{
+		"+R1": addRedundant(s, 1),
+		"-R1": removeRedundant(s),
+		"+R2": addUnreachable(s),
+		"-R3": mergeEntries(s),
+		"+R3": splitEntries(mergeEntries(s)),
+		"+R5": splitState(s),
+		"-R5": mergeStates(splitState(s)),
+	} {
+		if len(m.Fields) != len(s.Fields) {
+			t.Errorf("%s changed the field set", name)
+		}
+	}
+}

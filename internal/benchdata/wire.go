@@ -1,0 +1,235 @@
+package benchdata
+
+// Wire-scale benchmarks: the same protocol structures at real header
+// widths (48-bit MACs, 16-bit etherTypes, 32-bit addresses). The scaled
+// suite in bench.go keeps every compiler fast enough for exhaustive
+// comparison; the wire-scale suite is where the naive encoding's
+// exponential constant space actually bites, reproducing the paper's
+// timeout-censored "Orig" cells and the Table 5 ablation gaps.
+
+// WireEthernetIPSource is the classic Ethernet → IPv4 → TCP/UDP parser at
+// real widths; the bmv2-style delivery test (internal/sim) drives it with
+// genuine packets.
+const WireEthernetIPSource = `
+header ethernet {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}
+header ipv4 {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  tos;
+    bit<16> totalLen;
+    bit<16> id;
+    bit<16> fragOff;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> checksum;
+    bit<32> src;
+    bit<32> dst;
+}
+header tcp {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+header udp {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+parser EthernetIP {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etherType) {
+            0x0800  : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.protocol) {
+            6       : parse_tcp;
+            17      : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_tcp { extract(tcp); transition accept; }
+    state parse_udp { extract(udp); transition accept; }
+}
+`
+
+// wireSaiV1Source is the Sai V1 structure at wire widths.
+const wireSaiV1Source = `
+header eth  { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4 { bit<8> ttl; bit<8> proto; bit<32> src; bit<32> dst; }
+header ipv6 { bit<8> nexthdr; bit<8> hop; }
+header udp  { bit<16> sport; bit<16> dport; }
+parser WireSaiV1 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x0800  : parse_ipv4;
+            0x86DD  : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            17      : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_ipv6 {
+        extract(ipv6);
+        transition select(ipv6.nexthdr) {
+            17      : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp { extract(udp); transition accept; }
+}
+`
+
+// wireLargeTranKeySource selects over a full 32-bit key.
+const wireLargeTranKeySource = `
+header big { bit<32> key; }
+header pay { bit<8> tag; }
+parser WireLargeTranKey {
+    state start {
+        extract(big);
+        transition select(big.key) {
+            0xDEADBEEF : deliver;
+            0xDEADBEEE : deliver;
+            default    : accept;
+        }
+    }
+    state deliver { extract(pay); transition accept; }
+}
+`
+
+// wireDashSource is a dash.p4-style service dispatch with a 12-bit tag
+// and wide service payloads; every payload is control-irrelevant, which
+// is what makes Opt2 decisive here.
+const wireDashSource = `
+header tag { bit<12> svc; }
+header s0  { bit<16> p0; }
+header s1  { bit<16> p1; }
+header s2  { bit<16> p2; }
+header s3  { bit<16> p3; }
+parser WireDash {
+    state start {
+        extract(tag);
+        transition select(tag.svc) {
+            0x101   : svc0;
+            0x102   : svc1;
+            0x103   : svc2;
+            0x104   : svc3;
+            0x201   : svc0;
+            0x202   : svc1;
+            default : accept;
+        }
+    }
+    state svc0 { extract(s0); transition accept; }
+    state svc1 { extract(s1); transition accept; }
+    state svc2 { extract(s2); transition accept; }
+    state svc3 { extract(s3); transition accept; }
+}
+`
+
+// wireGeneveSource parses Geneve encapsulation (RFC 8926) — the protocol
+// the paper's introduction names as the kind of "diverse and dynamic"
+// header that demands flexible parsing. The variable-length option block
+// (optLen in 4-byte units) exercises varbit at wire scale, and the
+// protocolType select dispatches the inner frame.
+const wireGeneveSource = `
+header udp {
+    bit<16> srcPort;
+    bit<16> dstPort;
+    bit<16> length;
+    bit<16> checksum;
+}
+header geneve {
+    bit<2>  version;
+    bit<6>  optLen;
+    bit<1>  oam;
+    bit<1>  critical;
+    bit<6>  reserved;
+    bit<16> protocolType;
+    bit<24> vni;
+    bit<8>  reserved2;
+    varbit<504> options;
+}
+header inner_eth {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}
+parser Geneve {
+    state start {
+        extract(udp);
+        transition select(udp.dstPort) {
+            6081    : parse_geneve;
+            default : accept;
+        }
+    }
+    state parse_geneve {
+        extract(geneve, geneve.optLen * 32);
+        transition select(geneve.protocolType) {
+            0x6558  : parse_inner;
+            default : accept;
+        }
+    }
+    state parse_inner { extract(inner_eth); transition accept; }
+}
+`
+
+// wireQinQSource parses stacked 802.1Q tags (QinQ): outer S-tag, inner
+// C-tag, then the payload dispatch — a two-deep chain of identical header
+// shapes.
+const wireQinQSource = `
+header eth   { bit<48> dst; bit<48> src; bit<16> etherType; }
+header stag  { bit<16> tci; bit<16> innerType; }
+header ctag  { bit<16> tci; bit<16> innerType; }
+header ipv4  { bit<8> ttl; bit<8> proto; }
+parser QinQ {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x88A8  : parse_stag;
+            0x8100  : parse_ctag;
+            0x0800  : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_stag {
+        extract(stag);
+        transition select(stag.innerType) {
+            0x8100  : parse_ctag;
+            0x0800  : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ctag {
+        extract(ctag);
+        transition select(ctag.innerType) {
+            0x0800  : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+}
+`
+
+// WireScale returns the wire-width benchmark set used for the naive-mode
+// (Orig) comparison and the Table 5 ablation.
+func WireScale() []Benchmark {
+	return []Benchmark{
+		{Family: "Wire Ethernet/IP", Spec: mustSpec(WireEthernetIPSource)},
+		{Family: "Wire Sai V1", Spec: mustSpec(wireSaiV1Source)},
+		{Family: "Wire Large tran key", Spec: mustSpec(wireLargeTranKeySource)},
+		{Family: "Wire Dash", Spec: mustSpec(wireDashSource)},
+		{Family: "Wire Geneve", Spec: mustSpec(wireGeneveSource)},
+		{Family: "Wire QinQ", Spec: mustSpec(wireQinQSource)},
+	}
+}

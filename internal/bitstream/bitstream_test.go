@@ -1,0 +1,163 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUint(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+		want  string
+	}{
+		{0, 4, "0000"},
+		{15, 4, "1111"},
+		{10, 4, "1010"},
+		{1, 1, "1"},
+		{0x800A, 16, "1000_0000_0000_1010"},
+		{5, 8, "0000_0101"},
+	}
+	for _, c := range cases {
+		if got := FromUint(c.v, c.width).String(); got != MustFromString(c.want).String() {
+			t.Errorf("FromUint(%d,%d)=%s want %s", c.v, c.width, got, c.want)
+		}
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		b := FromUint(uint64(v), 16)
+		return b.Uint(0, 16) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	b := FromBytes([]byte{0xAB, 0x01})
+	if got := b.Uint(0, 16); got != 0xAB01 {
+		t.Fatalf("got %#x want 0xAB01", got)
+	}
+	if len(b) != 16 {
+		t.Fatalf("len=%d want 16", len(b))
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("01x1"); err == nil {
+		t.Error("expected error for invalid rune")
+	}
+	b, err := FromString("10_10 01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Uint(0, 6) != 0b101001 {
+		t.Errorf("separator handling wrong: %s", b)
+	}
+}
+
+func TestUintPastEndReadsZero(t *testing.T) {
+	b := MustFromString("11")
+	if got := b.Uint(0, 4); got != 0b1100 {
+		t.Errorf("got %b want 1100", got)
+	}
+	if got := b.Uint(5, 3); got != 0 {
+		t.Errorf("fully-past-end read: got %d want 0", got)
+	}
+}
+
+func TestSlicePadding(t *testing.T) {
+	b := MustFromString("101")
+	s := b.Slice(1, 4)
+	if !s.Equal(MustFromString("0100")) {
+		t.Errorf("Slice(1,4)=%s", s)
+	}
+}
+
+func TestBit(t *testing.T) {
+	b := MustFromString("10")
+	if b.Bit(0) != 1 || b.Bit(1) != 0 || b.Bit(2) != 0 || b.Bit(-1) != 0 {
+		t.Error("Bit boundary behaviour wrong")
+	}
+}
+
+func TestConcatDoesNotAlias(t *testing.T) {
+	a := MustFromString("1")
+	c := a.Concat(MustFromString("0"))
+	c[0] = 0
+	if a[0] != 1 {
+		t.Error("Concat aliased its receiver")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if MustFromString("10").Equal(MustFromString("100")) {
+		t.Error("length mismatch must not be equal")
+	}
+	if !MustFromString("10").Equal(MustFromString("10")) {
+		t.Error("identical strings must be equal")
+	}
+}
+
+func TestRandomLengthAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := Random(rng, 100)
+	if len(b) != 100 {
+		t.Fatalf("len=%d", len(b))
+	}
+	for _, bit := range b {
+		if bit > 1 {
+			t.Fatalf("bit out of range: %d", bit)
+		}
+	}
+}
+
+func TestDictEqualAndDiff(t *testing.T) {
+	d1 := Dict{"a": MustFromString("01")}
+	d2 := Dict{"a": MustFromString("01")}
+	if !d1.Equal(d2) || d1.Diff(d2) != "" {
+		t.Error("equal dicts reported different")
+	}
+	d2["a"] = MustFromString("11")
+	if d1.Equal(d2) || d1.Diff(d2) == "" {
+		t.Error("different values not detected")
+	}
+	d3 := Dict{"a": MustFromString("01"), "b": MustFromString("1")}
+	if d1.Equal(d3) || d1.Diff(d3) == "" || d3.Diff(d1) == "" {
+		t.Error("membership difference not detected")
+	}
+}
+
+func TestDictCloneIsDeep(t *testing.T) {
+	d := Dict{"a": MustFromString("01")}
+	c := d.Clone()
+	c["a"][0] = 1
+	if d["a"][0] != 0 {
+		t.Error("Clone shared underlying bits")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := MustFromString("0101")
+	c := b.Clone()
+	c[0] = 1
+	if b[0] != 0 {
+		t.Error("Clone aliased")
+	}
+}
+
+// Property: Slice then Uint agrees with direct Uint.
+func TestSliceUintAgreement(t *testing.T) {
+	f := func(v uint32, off uint8) bool {
+		b := FromUint(uint64(v), 32)
+		o := int(off % 32)
+		w := 8
+		return b.Slice(o, w).Uint(0, w) == b.Uint(o, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

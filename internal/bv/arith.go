@@ -1,0 +1,110 @@
+package bv
+
+// Arithmetic and ordering over bitvectors. The parser encodings mostly
+// need equality and masked matches, but a usable bitvector layer —
+// and future encodings such as cursor arithmetic for symbolic positions —
+// also need addition and unsigned comparison. All operations are
+// MSB-first like the rest of the package.
+
+// Add returns a + b (mod 2^width) via a ripple-carry adder.
+func (s *Solver) Add(a, b BV) BV {
+	s.sameWidth(a, b, "Add")
+	w := a.Width()
+	out := BV{Bits: make([]Lit, w)}
+	carry := s.False()
+	for i := w - 1; i >= 0; i-- {
+		x, y := a.Bits[i], b.Bits[i]
+		sum := s.Xor(s.Xor(x, y), carry)
+		carry = s.Or(s.And(x, y), s.And(carry, s.Xor(x, y)))
+		out.Bits[i] = sum
+	}
+	return out
+}
+
+// AddConst returns a + c (mod 2^width).
+func (s *Solver) AddConst(a BV, c uint64) BV {
+	return s.Add(a, s.Const(c, a.Width()))
+}
+
+// Sub returns a - b (mod 2^width), computed as a + ^b + 1.
+func (s *Solver) Sub(a, b BV) BV {
+	s.sameWidth(a, b, "Sub")
+	w := a.Width()
+	out := BV{Bits: make([]Lit, w)}
+	carry := s.True() // the +1 of two's complement
+	for i := w - 1; i >= 0; i-- {
+		x, y := a.Bits[i], b.Bits[i].Not()
+		sum := s.Xor(s.Xor(x, y), carry)
+		carry = s.Or(s.And(x, y), s.And(carry, s.Xor(x, y)))
+		out.Bits[i] = sum
+	}
+	return out
+}
+
+// ULT returns the formula a < b (unsigned).
+func (s *Solver) ULT(a, b BV) Lit {
+	s.sameWidth(a, b, "ULT")
+	// MSB-first scan: a < b iff at the first differing bit, a has 0.
+	lt := s.False()
+	eqSoFar := s.True()
+	for i := 0; i < a.Width(); i++ {
+		lt = s.Or(lt, s.AndN(eqSoFar, a.Bits[i].Not(), b.Bits[i]))
+		eqSoFar = s.And(eqSoFar, s.Iff(a.Bits[i], b.Bits[i]))
+	}
+	return lt
+}
+
+// ULE returns the formula a <= b (unsigned).
+func (s *Solver) ULE(a, b BV) Lit {
+	return s.Or(s.ULT(a, b), s.Eq(a, b))
+}
+
+// ShiftLeftConst returns a << n (zeros shifted in), same width.
+func (s *Solver) ShiftLeftConst(a BV, n int) BV {
+	w := a.Width()
+	out := BV{Bits: make([]Lit, w)}
+	for i := 0; i < w; i++ {
+		if i+n < w {
+			out.Bits[i] = a.Bits[i+n]
+		} else {
+			out.Bits[i] = s.False()
+		}
+	}
+	return out
+}
+
+// ShiftRightConst returns a >> n (logical), same width.
+func (s *Solver) ShiftRightConst(a BV, n int) BV {
+	w := a.Width()
+	out := BV{Bits: make([]Lit, w)}
+	for i := 0; i < w; i++ {
+		if i-n >= 0 {
+			out.Bits[i] = a.Bits[i-n]
+		} else {
+			out.Bits[i] = s.False()
+		}
+	}
+	return out
+}
+
+// ZeroExtend widens a to width bits by prepending zeros. Width smaller
+// than a's is a programming error.
+func (s *Solver) ZeroExtend(a BV, width int) BV {
+	if width < a.Width() {
+		panic("bv: ZeroExtend narrows")
+	}
+	out := BV{Bits: make([]Lit, width)}
+	pad := width - a.Width()
+	for i := 0; i < pad; i++ {
+		out.Bits[i] = s.False()
+	}
+	copy(out.Bits[pad:], a.Bits)
+	return out
+}
+
+// PopCountAtMost asserts that the number of set bits in a is at most k —
+// the bitvector view of the hardware cardinality limits (key-width
+// budgets of Figures 10 and 11).
+func (s *Solver) PopCountAtMost(a BV, k int) {
+	s.AtMostK(append([]Lit(nil), a.Bits...), k)
+}

@@ -1,0 +1,130 @@
+package bv
+
+import (
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/sat"
+)
+
+func TestAddSubAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		a, b := rng.Uint64()&0xFF, rng.Uint64()&0xFF
+		s := New()
+		sum := s.Add(s.Const(a, 8), s.Const(b, 8))
+		diff := s.Sub(s.Const(a, 8), s.Const(b, 8))
+		s.Solve()
+		if got := s.BVValue(sum); got != (a+b)&0xFF {
+			t.Fatalf("%d+%d=%d want %d", a, b, got, (a+b)&0xFF)
+		}
+		if got := s.BVValue(diff); got != (a-b)&0xFF {
+			t.Fatalf("%d-%d=%d want %d", a, b, got, (a-b)&0xFF)
+		}
+	}
+}
+
+func TestAddSolvesForOperand(t *testing.T) {
+	// Find x with x + 17 == 100 over 8 bits.
+	s := New()
+	x := s.NewBV(8)
+	s.Assert(s.Eq(s.AddConst(x, 17), s.Const(100, 8)))
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat")
+	}
+	if got := s.BVValue(x); got != 83 {
+		t.Errorf("x=%d", got)
+	}
+}
+
+func TestULTULEAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		a, b := rng.Uint64()&0x3F, rng.Uint64()&0x3F
+		s := New()
+		lt := s.ULT(s.Const(a, 6), s.Const(b, 6))
+		le := s.ULE(s.Const(a, 6), s.Const(b, 6))
+		s.Solve()
+		if s.Value(lt) != (a < b) {
+			t.Fatalf("ULT(%d,%d)=%v", a, b, s.Value(lt))
+		}
+		if s.Value(le) != (a <= b) {
+			t.Fatalf("ULE(%d,%d)=%v", a, b, s.Value(le))
+		}
+	}
+}
+
+func TestULTSynthesizesOrderedValue(t *testing.T) {
+	// Find x strictly between 10 and 13.
+	s := New()
+	x := s.NewBV(4)
+	s.Assert(s.ULT(s.Const(10, 4), x))
+	s.Assert(s.ULT(x, s.Const(13, 4)))
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat")
+	}
+	if got := s.BVValue(x); got != 11 && got != 12 {
+		t.Errorf("x=%d", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	s := New()
+	a := s.Const(0b0110_1001, 8)
+	s.Solve()
+	if got := s.BVValue(s.ShiftLeftConst(a, 3)); got != 0b0100_1000 {
+		t.Errorf("shl=%08b", got)
+	}
+	if got := s.BVValue(s.ShiftRightConst(a, 2)); got != 0b0001_1010 {
+		t.Errorf("shr=%08b", got)
+	}
+	if got := s.BVValue(s.ShiftLeftConst(a, 0)); got != 0b0110_1001 {
+		t.Errorf("shl0=%08b", got)
+	}
+}
+
+func TestZeroExtend(t *testing.T) {
+	s := New()
+	a := s.Const(0b101, 3)
+	e := s.ZeroExtend(a, 8)
+	s.Solve()
+	if got := s.BVValue(e); got != 0b101 {
+		t.Errorf("zext=%08b", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("narrowing ZeroExtend must panic")
+		}
+	}()
+	s.ZeroExtend(s.Const(0, 8), 4)
+}
+
+func TestPopCountAtMost(t *testing.T) {
+	s := New()
+	x := s.NewBV(6)
+	s.PopCountAtMost(x, 2)
+	s.Assert(s.ULT(s.Const(0b100000, 6), x)) // force a large value
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat")
+	}
+	v := s.BVValue(x)
+	pop := 0
+	for t := v; t != 0; t &= t - 1 {
+		pop++
+	}
+	if pop > 2 {
+		t.Errorf("x=%06b has %d set bits", v, pop)
+	}
+}
+
+func TestAddAssociativity(t *testing.T) {
+	// (a+b)+c == a+(b+c) as formulas: assert inequality, expect unsat.
+	s := New()
+	a, b, c := s.NewBV(6), s.NewBV(6), s.NewBV(6)
+	l := s.Add(s.Add(a, b), c)
+	r := s.Add(a, s.Add(b, c))
+	s.Assert(s.Eq(l, r).Not())
+	if s.Solve() != sat.Unsat {
+		t.Error("addition must be associative for every assignment")
+	}
+}

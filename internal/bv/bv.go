@@ -1,0 +1,409 @@
+// Package bv is a bitvector and pseudo-boolean constraint layer over the
+// CDCL solver in internal/sat. It plays the role Z3 plays in the paper:
+// ParserHawk's encoder builds formulas over fixed-width bitvectors (TCAM
+// values, masks, one-hot state selectors) and asks for a model.
+//
+// Formulas are constructed with Tseitin transformation; constant operands
+// are folded eagerly so that the optimized encodings (which replace free
+// symbolic constants with small selector variables, §6.4) produce
+// dramatically smaller CNF — the mechanism behind the paper's speedups.
+package bv
+
+import (
+	"fmt"
+
+	"parserhawk/internal/sat"
+)
+
+// Lit is a boolean formula handle: a SAT literal, with the solver's
+// constant-true literal used to fold constants.
+type Lit = sat.Lit
+
+// BV is a fixed-width bitvector of boolean formulas, most significant bit
+// first (index 0 = MSB), matching the wire order used everywhere else.
+type BV struct {
+	Bits []Lit
+}
+
+// Width returns the bitvector's width.
+func (b BV) Width() int { return len(b.Bits) }
+
+// Solver wraps a SAT solver with formula-construction helpers.
+type Solver struct {
+	SAT *sat.Solver
+
+	tru sat.Lit // literal fixed to true
+
+	andCache map[[2]Lit]Lit
+	orCache  map[[2]Lit]Lit
+	xorCache map[[2]Lit]Lit
+}
+
+// New returns a fresh solver with its constant-true literal asserted.
+func New() *Solver {
+	s := &Solver{
+		SAT:      sat.New(),
+		andCache: map[[2]Lit]Lit{},
+		orCache:  map[[2]Lit]Lit{},
+		xorCache: map[[2]Lit]Lit{},
+	}
+	v := s.SAT.NewVar()
+	s.tru = sat.MkLit(v, false)
+	s.SAT.AddClause(s.tru)
+	return s
+}
+
+// True and False return the constant literals.
+func (s *Solver) True() Lit  { return s.tru }
+func (s *Solver) False() Lit { return s.tru.Not() }
+
+// NewLit allocates a fresh free boolean variable.
+func (s *Solver) NewLit() Lit { return sat.MkLit(s.SAT.NewVar(), false) }
+
+// Bool converts a Go bool to the corresponding constant literal.
+func (s *Solver) Bool(b bool) Lit {
+	if b {
+		return s.tru
+	}
+	return s.tru.Not()
+}
+
+func (s *Solver) isTrue(l Lit) bool  { return l == s.tru }
+func (s *Solver) isFalse(l Lit) bool { return l == s.tru.Not() }
+
+// NewBV allocates a fresh symbolic bitvector of the given width.
+func (s *Solver) NewBV(width int) BV {
+	b := BV{Bits: make([]Lit, width)}
+	for i := range b.Bits {
+		b.Bits[i] = s.NewLit()
+	}
+	return b
+}
+
+// Const builds a constant bitvector from the low width bits of v.
+func (s *Solver) Const(v uint64, width int) BV {
+	b := BV{Bits: make([]Lit, width)}
+	for i := 0; i < width; i++ {
+		b.Bits[i] = s.Bool(v>>uint(width-1-i)&1 == 1)
+	}
+	return b
+}
+
+// Concat concatenates bitvectors MSB-first.
+func (s *Solver) Concat(vs ...BV) BV {
+	var bits []Lit
+	for _, v := range vs {
+		bits = append(bits, v.Bits...)
+	}
+	return BV{Bits: bits}
+}
+
+// Extract returns bits [lo, hi) of b (0 = MSB).
+func (s *Solver) Extract(b BV, lo, hi int) BV {
+	return BV{Bits: append([]Lit(nil), b.Bits[lo:hi]...)}
+}
+
+// Not negates a boolean formula.
+func (s *Solver) Not(a Lit) Lit { return a.Not() }
+
+// And returns a conjunction gate, folding constants.
+func (s *Solver) And(a, b Lit) Lit {
+	switch {
+	case s.isFalse(a) || s.isFalse(b):
+		return s.False()
+	case s.isTrue(a):
+		return b
+	case s.isTrue(b):
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return s.False()
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if g, ok := s.andCache[[2]Lit{a, b}]; ok {
+		return g
+	}
+	g := s.NewLit()
+	s.SAT.AddClause(g.Not(), a)
+	s.SAT.AddClause(g.Not(), b)
+	s.SAT.AddClause(g, a.Not(), b.Not())
+	s.andCache[[2]Lit{a, b}] = g
+	return g
+}
+
+// Or returns a disjunction gate, folding constants.
+func (s *Solver) Or(a, b Lit) Lit {
+	return s.And(a.Not(), b.Not()).Not()
+}
+
+// Xor returns an exclusive-or gate, folding constants.
+func (s *Solver) Xor(a, b Lit) Lit {
+	switch {
+	case s.isFalse(a):
+		return b
+	case s.isFalse(b):
+		return a
+	case s.isTrue(a):
+		return b.Not()
+	case s.isTrue(b):
+		return a.Not()
+	case a == b:
+		return s.False()
+	case a == b.Not():
+		return s.True()
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if g, ok := s.xorCache[[2]Lit{a, b}]; ok {
+		return g
+	}
+	g := s.NewLit()
+	s.SAT.AddClause(g.Not(), a, b)
+	s.SAT.AddClause(g.Not(), a.Not(), b.Not())
+	s.SAT.AddClause(g, a.Not(), b)
+	s.SAT.AddClause(g, a, b.Not())
+	s.xorCache[[2]Lit{a, b}] = g
+	return g
+}
+
+// Iff returns a ↔ b.
+func (s *Solver) Iff(a, b Lit) Lit { return s.Xor(a, b).Not() }
+
+// Implies returns a → b.
+func (s *Solver) Implies(a, b Lit) Lit { return s.Or(a.Not(), b) }
+
+// AndN folds And over any number of formulas (empty = true).
+func (s *Solver) AndN(ls ...Lit) Lit {
+	g := s.True()
+	for _, l := range ls {
+		g = s.And(g, l)
+	}
+	return g
+}
+
+// OrN folds Or over any number of formulas (empty = false).
+func (s *Solver) OrN(ls ...Lit) Lit {
+	g := s.False()
+	for _, l := range ls {
+		g = s.Or(g, l)
+	}
+	return g
+}
+
+// MuxLit returns c ? a : b as a boolean formula.
+func (s *Solver) MuxLit(c, a, b Lit) Lit {
+	if s.isTrue(c) {
+		return a
+	}
+	if s.isFalse(c) {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return s.Or(s.And(c, a), s.And(c.Not(), b))
+}
+
+// BVAnd computes the bitwise conjunction of equal-width vectors.
+func (s *Solver) BVAnd(a, b BV) BV {
+	s.sameWidth(a, b, "BVAnd")
+	out := BV{Bits: make([]Lit, a.Width())}
+	for i := range out.Bits {
+		out.Bits[i] = s.And(a.Bits[i], b.Bits[i])
+	}
+	return out
+}
+
+// BVOr computes the bitwise disjunction of equal-width vectors.
+func (s *Solver) BVOr(a, b BV) BV {
+	s.sameWidth(a, b, "BVOr")
+	out := BV{Bits: make([]Lit, a.Width())}
+	for i := range out.Bits {
+		out.Bits[i] = s.Or(a.Bits[i], b.Bits[i])
+	}
+	return out
+}
+
+// BVNot computes the bitwise negation.
+func (s *Solver) BVNot(a BV) BV {
+	out := BV{Bits: make([]Lit, a.Width())}
+	for i := range out.Bits {
+		out.Bits[i] = a.Bits[i].Not()
+	}
+	return out
+}
+
+// Eq returns the formula a == b for equal-width vectors.
+func (s *Solver) Eq(a, b BV) Lit {
+	s.sameWidth(a, b, "Eq")
+	g := s.True()
+	for i := range a.Bits {
+		g = s.And(g, s.Iff(a.Bits[i], b.Bits[i]))
+	}
+	return g
+}
+
+// EqConst returns the formula a == v.
+func (s *Solver) EqConst(a BV, v uint64) Lit {
+	return s.Eq(a, s.Const(v, a.Width()))
+}
+
+// MaskedEq returns the TCAM match formula key & mask == value & mask. This
+// is the core condition of every entry (§3.2, step 1).
+func (s *Solver) MaskedEq(key, mask, value BV) Lit {
+	s.sameWidth(key, mask, "MaskedEq")
+	s.sameWidth(key, value, "MaskedEq")
+	g := s.True()
+	for i := range key.Bits {
+		// mask[i] -> (key[i] == value[i])
+		g = s.And(g, s.Implies(mask.Bits[i], s.Iff(key.Bits[i], value.Bits[i])))
+	}
+	return g
+}
+
+// Ite returns c ? a : b over equal-width vectors.
+func (s *Solver) Ite(c Lit, a, b BV) BV {
+	s.sameWidth(a, b, "Ite")
+	out := BV{Bits: make([]Lit, a.Width())}
+	for i := range out.Bits {
+		out.Bits[i] = s.MuxLit(c, a.Bits[i], b.Bits[i])
+	}
+	return out
+}
+
+// SelectBV returns Σ sel[i]·opts[i] assuming sel is one-hot. All options
+// must share a width. A non-one-hot selection yields the bitwise OR of the
+// selected options, so callers must constrain sel with ExactlyOne.
+func (s *Solver) SelectBV(sel []Lit, opts []BV) BV {
+	if len(sel) != len(opts) {
+		panic(fmt.Sprintf("bv: SelectBV %d selectors for %d options", len(sel), len(opts)))
+	}
+	w := opts[0].Width()
+	out := s.Const(0, w)
+	for i, o := range opts {
+		s.sameWidth(o, out, "SelectBV")
+		masked := BV{Bits: make([]Lit, w)}
+		for j := 0; j < w; j++ {
+			masked.Bits[j] = s.And(sel[i], o.Bits[j])
+		}
+		out = s.BVOr(out, masked)
+	}
+	return out
+}
+
+// SelectLit returns Σ sel[i]·opts[i] for boolean options under a one-hot
+// selector.
+func (s *Solver) SelectLit(sel []Lit, opts []Lit) Lit {
+	if len(sel) != len(opts) {
+		panic("bv: SelectLit arity mismatch")
+	}
+	g := s.False()
+	for i := range sel {
+		g = s.Or(g, s.And(sel[i], opts[i]))
+	}
+	return g
+}
+
+// AtMostOne asserts that at most one of the literals is true (pairwise
+// encoding; selector vectors here are small).
+func (s *Solver) AtMostOne(ls []Lit) {
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			s.SAT.AddClause(ls[i].Not(), ls[j].Not())
+		}
+	}
+}
+
+// ExactlyOne asserts that exactly one of the literals is true.
+func (s *Solver) ExactlyOne(ls []Lit) {
+	s.SAT.AddClause(ls...)
+	s.AtMostOne(ls)
+}
+
+// AtMostK asserts Σ ls ≤ k with a sequential-counter encoding, used for
+// hardware cardinality limits such as key-width budgets (Figures 10, 11).
+func (s *Solver) AtMostK(ls []Lit, k int) {
+	if k < 0 {
+		panic("bv: AtMostK negative bound")
+	}
+	if k >= len(ls) {
+		return
+	}
+	if k == 0 {
+		for _, l := range ls {
+			s.SAT.AddClause(l.Not())
+		}
+		return
+	}
+	// reg[i][j] ⇔ at least j+1 of ls[0..i] are true.
+	n := len(ls)
+	reg := make([][]Lit, n)
+	for i := 0; i < n-1; i++ {
+		reg[i] = make([]Lit, k)
+		for j := range reg[i] {
+			reg[i][j] = s.NewLit()
+		}
+	}
+	s.SAT.AddClause(ls[0].Not(), reg[0][0])
+	for j := 1; j < k; j++ {
+		s.SAT.AddClause(reg[0][j].Not())
+	}
+	for i := 1; i < n-1; i++ {
+		s.SAT.AddClause(ls[i].Not(), reg[i][0])
+		s.SAT.AddClause(reg[i-1][0].Not(), reg[i][0])
+		for j := 1; j < k; j++ {
+			s.SAT.AddClause(ls[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
+			s.SAT.AddClause(reg[i-1][j].Not(), reg[i][j])
+		}
+		s.SAT.AddClause(ls[i].Not(), reg[i-1][k-1].Not())
+	}
+	if n >= 2 {
+		s.SAT.AddClause(ls[n-1].Not(), reg[n-2][k-1].Not())
+	}
+}
+
+// Assert requires the formula to hold.
+func (s *Solver) Assert(l Lit) { s.SAT.AddClause(l) }
+
+// AssertOr requires at least one of the formulas to hold.
+func (s *Solver) AssertOr(ls ...Lit) { s.SAT.AddClause(ls...) }
+
+// Solve runs the SAT search (optionally under assumptions).
+func (s *Solver) Solve(assumptions ...Lit) sat.Status {
+	return s.SAT.Solve(assumptions...)
+}
+
+// Value reads a boolean formula's value from the last model.
+func (s *Solver) Value(l Lit) bool {
+	v := s.SAT.Model(l.Var())
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// BVValue reads a bitvector's value from the last model.
+func (s *Solver) BVValue(b BV) uint64 {
+	var v uint64
+	for _, l := range b.Bits {
+		v <<= 1
+		if s.Value(l) {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// NumVars exposes the size of the underlying CNF in variables; Table 3's
+// "search space (bits)" column reports the free decision bits separately.
+func (s *Solver) NumVars() int { return s.SAT.NumVars() }
+
+func (s *Solver) sameWidth(a, b BV, op string) {
+	if a.Width() != b.Width() {
+		panic(fmt.Sprintf("bv: %s width mismatch %d vs %d", op, a.Width(), b.Width()))
+	}
+}

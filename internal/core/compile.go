@@ -1,0 +1,470 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/sat"
+	"parserhawk/internal/tcam"
+)
+
+// Result is a successful compilation: the concrete TCAM program, its
+// resource footprint, and synthesis statistics.
+type Result struct {
+	Program   *tcam.Program
+	Resources tcam.Resources
+	Stats     Stats
+}
+
+// ErrTimeout reports that the compilation budget expired before any
+// skeleton/budget subproblem succeeded — the ">timeout" rows of Table 3.
+var ErrTimeout = errors.New("core: compilation timed out")
+
+// ErrNoSolution reports that the CEGIS search exhausted every skeleton and
+// entry budget without finding an implementation within the device's
+// resources.
+var ErrNoSolution = errors.New("core: no implementation fits the device resources")
+
+// Compile synthesizes a TCAM parser program implementing spec on the given
+// hardware profile. It is the whole Figure 8 pipeline: analysis, skeleton
+// portfolio, CEGIS, post-synthesis optimization, and validation.
+func Compile(spec *pir.Spec, profile hw.Profile, opts Options) (*Result, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	// Loopy specs on pipelined devices are bounded by unrolling; the
+	// verifier must use the same iteration bound so "deeper stack than the
+	// device holds" counts as rejection on both sides.
+	if spec.HasLoop() && !profile.AllowLoops() && opts.MaxIterations == 0 {
+		opts.MaxIterations = 4
+	}
+
+	// Opt2: synthesize against the bit-width-minimized spec.
+	synthSpec := spec
+	if opts.Opt2BitWidthMin {
+		synthSpec = scaleSpec(spec)
+	}
+
+	unroll := opts.MaxIterations
+	origSks, effOrig, err := buildSkeletons(spec, profile, opts, unroll)
+	if err != nil {
+		return nil, err
+	}
+	synthSks, effSynth, err := origSks, effOrig, error(nil)
+	if synthSpec != spec {
+		synthSks, effSynth, err = buildSkeletons(synthSpec, profile, opts, unroll)
+		if err != nil || !sameStructure(origSks, synthSks) {
+			// Width-dependent structural decisions (lookahead deferral,
+			// quotient grouping) diverged between the scaled and original
+			// specs; Opt2 cannot be applied to this program. Fall back to
+			// synthesizing on the original widths.
+			synthSpec, synthSks, effSynth = spec, origSks, effOrig
+		}
+	}
+
+	stats := Stats{}
+	estEntries := 0
+	for i := range spec.States {
+		estEntries += len(spec.States[i].Rules) + 1
+	}
+	stages := 1
+	if profile.Arch != hw.SingleTable {
+		stages = profile.StageLimit
+	}
+	stats.SearchSpaceBits = spec.SearchSpaceBits(estEntries, stages)
+
+	type attemptOut struct {
+		res *Result
+		err error
+		idx int
+	}
+	attempt := func(idx int) attemptOut {
+		r, err := compileSkeleton(spec, effOrig, effSynth, &origSks[idx], &synthSks[idx], profile, opts, expired)
+		return attemptOut{res: r, err: err, idx: idx}
+	}
+
+	var outs []attemptOut
+	if opts.Opt7Parallelism && len(origSks) > 1 && runtime.NumCPU() > 1 {
+		// §6.7: solve structural subproblems in parallel, keep every
+		// success, choose the cheapest.
+		ch := make(chan attemptOut, len(origSks))
+		var wg sync.WaitGroup
+		for i := range origSks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ch <- attempt(i)
+			}(i)
+		}
+		wg.Wait()
+		close(ch)
+		for o := range ch {
+			outs = append(outs, o)
+		}
+	} else {
+		// Sequential portfolio (single-CPU machines, or Opt7 disabled):
+		// every structural subproblem still runs — chunk-check order alone
+		// can change the entry count (Figure 4's V1 vs V2) — the
+		// subproblems just share the core instead of racing.
+		for i := range origSks {
+			outs = append(outs, attempt(i))
+		}
+	}
+
+	var best *Result
+	var firstErr error
+	timedOut := false
+	for _, o := range outs {
+		stats.SkeletonsTried++
+		if o.err != nil {
+			if errors.Is(o.err, ErrTimeout) {
+				timedOut = true
+			} else if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if best == nil || cheaper(profile, o.res.Resources, best.Resources) {
+			best = o.res
+		}
+	}
+	if best == nil {
+		if timedOut {
+			return nil, ErrTimeout
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, ErrNoSolution
+	}
+	best.Stats.SkeletonsTried = stats.SkeletonsTried
+	best.Stats.SearchSpaceBits = stats.SearchSpaceBits
+	best.Stats.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// cheaper orders resource footprints by the device's scarce resource:
+// stages then entries for pipelined parsers, entries then states for
+// single-table parsers.
+func cheaper(profile hw.Profile, a, b tcam.Resources) bool {
+	if profile.Arch != hw.SingleTable {
+		if a.Stages != b.Stages {
+			return a.Stages < b.Stages
+		}
+		return a.Entries < b.Entries
+	}
+	if a.Entries != b.Entries {
+		return a.Entries < b.Entries
+	}
+	return a.States < b.States
+}
+
+// compileSkeleton runs the iterative-deepening entry-budget ladder with a
+// CEGIS loop at each rung.
+// compileSkeleton runs CEGIS over one skeleton. spec is the user's
+// original specification (used for the emitted program's field table);
+// effOrig/effSynth are the effective verification specs — equal to
+// spec/scaled-spec for loop-capable targets, their bounded unrollings for
+// pipelined ones.
+func compileSkeleton(spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleton, profile hw.Profile, opts Options, expired func() bool) (*Result, error) {
+	cap := 0
+	for _, ss := range synthSk.States {
+		cap += ss.MaxEntries
+	}
+	if opts.MaxEntryBudget > 0 && opts.MaxEntryBudget < cap {
+		cap = opts.MaxEntryBudget
+	}
+	if profile.Arch == hw.SingleTable && cap > profile.TCAMLimit {
+		cap = profile.TCAMLimit
+	}
+	// Semantic lower bound: a state realizing spec states with k distinct
+	// implementation-level transition targets needs at least k entries
+	// (mask merging only combines rules with the same target, §6.4.2).
+	// Start the iterative-deepening ladder there. The bound is part of the
+	// constant-synthesis domain knowledge, so the naive mode — which the
+	// paper measures without any of it — starts from one entry.
+	low := 1
+	if opts.Opt4ConstantSynthesis {
+		low = skeletonLowerBound(effSynth, synthSk)
+	}
+	if low > cap {
+		low = cap
+	}
+	if low < 1 {
+		low = 1
+	}
+
+	ver, err := newVerifier(effSynth, opts, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	origVer, err := newVerifier(effOrig, opts, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared CEGIS example set: counterexamples discovered at one budget
+	// remain valid spec behaviours at every other budget.
+	type example struct {
+		in  bitstream.Bits
+		out pir.Result
+	}
+	k := ver.maxIterBudget()
+	var examples []example
+	addExample := func(in bitstream.Bits) {
+		examples = append(examples, example{in: in, out: effSynth.Run(in, k)})
+	}
+	addExample(make(bitstream.Bits, ver.maxLen)) // all-zeros
+	addExample(ver.randomInput())                // §5.2: one random seed example
+
+	stats := Stats{}
+	synthStart := time.Now()
+	debug := os.Getenv("PARSERHAWK_DEBUG") != ""
+	for budget := low; budget <= cap; budget++ {
+		if debug {
+			fmt.Fprintf(os.Stderr, "[%s] budget=%d/%d examples=%d vars-so-far elapsed=%.1fs\n",
+				synthSk.Name, budget, cap, len(examples), time.Since(synthStart).Seconds())
+		}
+		if expired() {
+			return nil, ErrTimeout
+		}
+		sy := newSynthesizer(effSynth, synthSk, profile, opts, budget)
+		fed := 0
+		for {
+			if expired() {
+				return nil, ErrTimeout
+			}
+			tb := time.Now()
+			for ; fed < len(examples); fed++ {
+				if err := sy.addTestCase(examples[fed].in, examples[fed].out); err != nil {
+					return nil, err
+				}
+			}
+			if debug {
+				fmt.Fprintf(os.Stderr, "  build=%.2fs vars=%d\n", time.Since(tb).Seconds(), sy.s.NumVars())
+			}
+			t0 := time.Now()
+			status := sy.solve(expired)
+			stats.SynthesisTime += time.Since(t0)
+			if debug {
+				fmt.Fprintf(os.Stderr, "  solve=%.2fs status=%v\n", time.Since(t0).Seconds(), status)
+			}
+			if status == sat.Unsat {
+				break // budget too small; climb the ladder
+			}
+			if status == sat.Unknown {
+				return nil, ErrTimeout
+			}
+			stats.CEGISIterations++
+
+			// Verification phase on the synthesis-side spec.
+			cand := sy.extract(effSynth, synthSk)
+			t1 := time.Now()
+			cex, found, _ := ver.counterexample(cand)
+			stats.VerifyTime += time.Since(t1)
+			if found {
+				addExample(cex)
+				continue
+			}
+
+			// Success on the synthesis spec: rebuild against the original
+			// spec (undo Opt2 scaling) and re-verify.
+			final := sy.extract(spec, origSk)
+			if cex2, found2, _ := origVer.counterexample(final); found2 {
+				if effSynth == effOrig {
+					// Same spec, different sampling seed: a genuine
+					// counterexample the first verifier missed. Feed it
+					// back into the CEGIS example set and continue.
+					addExample(cex2)
+					continue
+				}
+				// Scaling misled synthesis (should not happen for supported
+				// specs); fall back by disabling Opt2 for this skeleton.
+				o2 := opts
+				o2.Opt2BitWidthMin = false
+				return compileSkeleton(spec, effOrig, effOrig, origSk, origSk, profile, o2, expired)
+			}
+			unoptimized := final
+			final, err := postOptimize(final, profile)
+			if err != nil {
+				// Post-optimization found a hard resource violation (e.g.
+				// too many stages); a larger budget will not help.
+				return nil, err
+			}
+			// Folding can change iteration counts; at the unrolling bound K
+			// that can shift an outcome across the budget boundary. Keep the
+			// optimized program only if it still satisfies the K-bounded
+			// contract.
+			if _, foldBroke, _ := origVer.counterexample(final); foldBroke {
+				final = unoptimized
+				if profile.Arch != hw.SingleTable {
+					var serr error
+					if final, serr = assignStages(final, profile); serr != nil {
+						break
+					}
+				}
+			}
+			if err := profile.Validate(final); err != nil {
+				break // exceeds device limits at this shape; try next budget
+			}
+			stats.EntryBudget = budget
+			stats.SolverVars = sy.s.NumVars()
+			stats.TestCases = len(examples)
+			stats.Elapsed = time.Since(synthStart)
+			return &Result{Program: final, Resources: final.Resources(), Stats: stats}, nil
+		}
+	}
+	return nil, ErrNoSolution
+}
+
+// skeletonLowerBound computes the minimum total entry count any correct
+// implementation of the skeleton can use: per skeleton state, the number
+// of distinct implementation-level targets (skeleton-state classes plus
+// accept/reject) its spec rules and defaults reach. Key-split copies
+// beyond the canonical one contribute nothing (they may stay empty).
+func skeletonLowerBound(spec *pir.Spec, sk *skeleton) int {
+	// Map each spec state to the skeleton state class realizing it.
+	class := map[int]int{}
+	seenClass := map[string]bool{}
+	for si, ss := range sk.States {
+		if seenClass[ss.Name] {
+			continue
+		}
+		seenClass[ss.Name] = true
+		for _, sp := range ss.SpecStates {
+			if _, ok := class[sp]; !ok {
+				class[sp] = si
+			}
+		}
+	}
+	total := 0
+	counted := map[string]bool{} // one contribution per spec-state group
+	for _, ss := range sk.States {
+		sig := fmt.Sprint(ss.SpecStates)
+		if counted[sig] {
+			continue // later key-split copies of the same spec states
+		}
+		counted[sig] = true
+		// A key-split chain needs at least one entry per continuation level
+		// on top of its per-target entries.
+		levels := 0
+		for _, other := range sk.States {
+			if fmt.Sprint(other.SpecStates) == sig && other.ChainLevel > levels {
+				levels = other.ChainLevel
+			}
+		}
+		total += levels
+		targets := map[int]bool{}
+		const (
+			tAccept = -1
+			tReject = -2
+		)
+		add := func(t pir.Target) {
+			switch t.Kind {
+			case pir.Accept:
+				targets[tAccept] = true
+			case pir.Reject:
+				targets[tReject] = true
+			default:
+				if c, ok := class[t.State]; ok {
+					targets[c] = true
+				} else {
+					targets[tReject] = true // unreachable spec target
+				}
+			}
+		}
+		for _, sp := range ss.SpecStates {
+			for _, r := range spec.States[sp].Rules {
+				add(r.Next)
+			}
+			add(spec.States[sp].Default)
+		}
+		n := len(targets)
+		if n < 1 {
+			n = 1
+		}
+		total += n
+	}
+	return total
+}
+
+// scaleSpec implements Opt2 (§6.2): every field irrelevant to control flow
+// is shrunk to 1 bit, shrinking the synthesis input space exponentially.
+// The structural search result transfers back to the original spec because
+// transition keys never touch irrelevant fields.
+func scaleSpec(spec *pir.Spec) *pir.Spec {
+	irr := map[string]bool{}
+	for _, f := range spec.IrrelevantFields() {
+		irr[f] = true
+	}
+	if len(irr) == 0 {
+		return spec
+	}
+	fields := make([]pir.Field, len(spec.Fields))
+	for i, f := range spec.Fields {
+		fields[i] = f
+		if irr[f.Name] {
+			fields[i].Width = 1
+		}
+	}
+	states := make([]pir.State, len(spec.States))
+	for i := range spec.States {
+		st := spec.States[i]
+		states[i] = pir.State{
+			Name:     st.Name,
+			Extracts: append([]pir.Extract(nil), st.Extracts...),
+			Key:      append([]pir.KeyPart(nil), st.Key...),
+			Rules:    append([]pir.Rule(nil), st.Rules...),
+			Default:  st.Default,
+		}
+	}
+	scaled, err := pir.New(spec.Name+"-scaled", fields, states)
+	if err != nil {
+		// Scaling can only fail if the original was malformed; fall back.
+		return spec
+	}
+	return scaled
+}
+
+// sameStructure reports whether two skeleton portfolios made identical
+// structural decisions (same subproblems, same states), so a model found
+// on one transfers to the other.
+func sameStructure(a, b []skeleton) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].States) != len(b[i].States) {
+			return false
+		}
+		for j := range a[i].States {
+			sa, sb := &a[i].States[j], &b[i].States[j]
+			if sa.Name != sb.Name || sa.KeyWidth != sb.KeyWidth ||
+				len(sa.Key) != len(sb.Key) || len(sa.Extracts) != len(sb.Extracts) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Unroll rewrites a loopy specification into the bounded loop-free form
+// used when compiling for pipelined devices: loop states are replicated
+// depth times and a deeper stack is rejected. It is exported so callers
+// can state the bounded-equivalence contract explicitly (the compiled
+// pipeline is equivalent to Unroll(spec, depth), not to the unbounded
+// loop).
+func Unroll(spec *pir.Spec, depth int) (*pir.Spec, error) {
+	return unrollSpec(spec, depth)
+}

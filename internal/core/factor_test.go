@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/p4"
+)
+
+// figure23Source is the left-hand program of the paper's Figure 23: two
+// headers F0 and F1 whose trailing "common" field drives identical select
+// logic in both parse states.
+const figure23Source = `
+header f0 { bit<4> f00; bit<4> common; }
+header f1 { bit<4> f01; bit<4> common; }
+header n0 { bit<2> x; }
+header nk { bit<2> y; }
+parser Fig23 {
+    state start {
+        transition select(lookahead<bit<1>>()) {
+            0       : parse_f0;
+            default : parse_f1;
+        }
+    }
+    state parse_f0 {
+        extract(f0);
+        transition select(f0.common) {
+            0x5     : nextv0;
+            0x9     : nextvk;
+            default : accept;
+        }
+    }
+    state parse_f1 {
+        extract(f1);
+        transition select(f1.common) {
+            0x5     : nextv0;
+            0x9     : nextvk;
+            default : accept;
+        }
+    }
+    state nextv0 { extract(n0); transition accept; }
+    state nextvk { extract(nk); transition accept; }
+}
+`
+
+func TestFactorCommonSuffixFigure23(t *testing.T) {
+	spec := p4.MustParseSpec(figure23Source)
+	factored, facts, err := FactorCommonSuffix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 {
+		t.Fatalf("factorings=%v", facts)
+	}
+	if len(facts[0].States) != 2 || facts[0].CommonWidth != 4 {
+		t.Errorf("factoring=%+v", facts[0])
+	}
+	// One extra (shared) state.
+	if len(factored.States) != len(spec.States)+1 {
+		t.Errorf("states=%d", len(factored.States))
+	}
+
+	// The factored spec is equivalent modulo the renamed common field.
+	for v := 0; v < 1<<13; v++ {
+		in := bitstream.FromUint(uint64(v), 13)
+		a := spec.Run(in, 0)
+		b := factored.Run(in, 0)
+		if a.Accepted != b.Accepted || a.Rejected != b.Rejected {
+			t.Fatalf("outcome differs on %s", in)
+		}
+		// The prefix fields and the next-header fields must agree; the
+		// common part appears under the shared name.
+		for _, f := range []string{"f0.f00", "f1.f01", "n0.x", "nk.y"} {
+			av, aok := a.Dict[f]
+			bv, bok := b.Dict[f]
+			if aok != bok || (aok && !av.Equal(bv)) {
+				t.Fatalf("field %s differs on %s: %v vs %v", f, in, a.Dict, b.Dict)
+			}
+		}
+		if cv, ok := a.Dict["f0.common"]; ok {
+			if sv, sok := b.Dict["common0.part"]; !sok || !cv.Equal(sv) {
+				t.Fatalf("common part lost on %s: %v vs %v", in, a.Dict, b.Dict)
+			}
+		}
+	}
+}
+
+// TestFactoringSavesTCAM reproduces the Figure 23 claim: the factored
+// program compiles to fewer TCAM entries because the duplicated select
+// logic collapses into one shared state.
+func TestFactoringSavesTCAM(t *testing.T) {
+	spec := p4.MustParseSpec(figure23Source)
+	factored, _, err := FactorCommonSuffix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	before, err := Compile(spec, hw.Tofino(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Compile(factored, hw.Tofino(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Resources.Entries >= before.Resources.Entries {
+		t.Errorf("factoring must save entries: %d -> %d",
+			before.Resources.Entries, after.Resources.Entries)
+	}
+	t.Logf("Figure 23: %d entries unfactored, %d factored",
+		before.Resources.Entries, after.Resources.Entries)
+}
+
+func TestFactorNoOpWhenNothingShared(t *testing.T) {
+	spec := p4.MustParseSpec(`
+header h { bit<4> k; }
+parser P {
+    state start {
+        extract(h);
+        transition select(h.k) {
+            1       : done;
+            default : accept;
+        }
+    }
+    state done { transition accept; }
+}
+`)
+	out, facts, err := FactorCommonSuffix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 0 || out != spec {
+		t.Error("nothing to factor; spec must be returned unchanged")
+	}
+}
+
+func TestFactorIgnoresDifferentLogic(t *testing.T) {
+	// Same trailing widths but different rules: must not merge.
+	spec := p4.MustParseSpec(`
+header a { bit<4> c; }
+header b { bit<4> c; }
+parser P {
+    state start {
+        transition select(lookahead<bit<1>>()) {
+            0       : pa;
+            default : pb;
+        }
+    }
+    state pa {
+        extract(a);
+        transition select(a.c) {
+            1       : accept;
+            default : reject;
+        }
+    }
+    state pb {
+        extract(b);
+        transition select(b.c) {
+            2       : accept;
+            default : reject;
+        }
+    }
+}
+`)
+	_, facts, err := FactorCommonSuffix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 0 {
+		t.Errorf("different select logic must not factor: %+v", facts)
+	}
+}

@@ -1,0 +1,112 @@
+// Package core implements ParserHawk's program-synthesis compiler (§5, §6).
+//
+// Compilation proceeds exactly as in Figure 8: the front end analyzes the
+// parser specification (internal/pir) and the hardware profile
+// (internal/hw); the synthesizer runs a CEGIS loop over the bitvector
+// solver (internal/bv) to concretize the symbolic TCAM entries of a parser
+// skeleton; the back end post-optimizes and emits a tcam.Program.
+//
+// Each optimization of §6 is independently toggleable so the evaluation
+// harness can reproduce the paper's ablations (Tables 3 and 5).
+package core
+
+import "time"
+
+// Options configures a compilation. The zero value enables nothing; use
+// DefaultOptions (all optimizations on, as in the paper's OPT rows) or
+// NaiveOptions (all off, the Orig rows).
+type Options struct {
+	// Opt1 restricts implementation transition-key construction to the bits
+	// the specification itself keys on (§6.1).
+	Opt1SpecGuidedKeys bool
+	// Opt2 scales fields irrelevant to control flow down to 1 bit during
+	// synthesis and restores them afterwards (§6.2).
+	Opt2BitWidthMin bool
+	// Opt3 preallocates field extraction to parser states instead of
+	// letting the solver choose (§6.3). Only applies to symmetric
+	// (single-TCAM-table) architectures.
+	Opt3Preallocation bool
+	// Opt4 restricts symbolic match constants to values present in the
+	// specification, their adjacent-state concatenations, and their
+	// hardware-width subranges (§6.4).
+	Opt4ConstantSynthesis bool
+	// Opt5 groups contiguous bits of one field into indivisible key units
+	// (§6.5).
+	Opt5KeyGrouping bool
+	// Opt6 treats varbit fields as fixed-size during synthesis and converts
+	// them back afterwards (§6.6).
+	Opt6FreezeVarbits bool
+	// Opt7 runs loop-aware/loop-free skeletons and alternative structural
+	// subproblems in parallel, taking the first success (§6.7).
+	Opt7Parallelism bool
+
+	// Timeout bounds the total compilation time; zero means no limit.
+	// The paper uses 24 h; the scaled harness uses seconds.
+	Timeout time.Duration
+
+	// MaxIterations is the FSM unrolling bound K (§4). Zero picks a bound
+	// derived from the specification.
+	MaxIterations int
+
+	// MaxEntryBudget caps the iterative-deepening search for TCAM entries.
+	// Zero derives a bound from the specification (one entry per spec rule
+	// plus defaults).
+	MaxEntryBudget int
+
+	// ExhaustiveVerifyBits is the largest input-space size (in bits) that
+	// the verifier checks exhaustively; larger spaces use directed plus
+	// random sampling. Default 16.
+	ExhaustiveVerifyBits int
+
+	// VerifySamples is the number of sampled inputs when exhaustive
+	// verification is infeasible. Default 2000.
+	VerifySamples int
+
+	// Workers bounds Opt7's parallel subproblems. Zero means GOMAXPROCS.
+	Workers int
+
+	// Seed makes test-case generation deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's OPT configuration: every optimization
+// enabled.
+func DefaultOptions() Options {
+	return Options{
+		Opt1SpecGuidedKeys:    true,
+		Opt2BitWidthMin:       true,
+		Opt3Preallocation:     true,
+		Opt4ConstantSynthesis: true,
+		Opt5KeyGrouping:       true,
+		Opt6FreezeVarbits:     true,
+		Opt7Parallelism:       true,
+		ExhaustiveVerifyBits:  16,
+		VerifySamples:         2000,
+		Seed:                  1,
+	}
+}
+
+// NaiveOptions returns the paper's Orig configuration: the plain synthesis
+// encoding with every optimization disabled. Expect timeouts on all but the
+// smallest inputs — that observation is the paper's Table 3.
+func NaiveOptions() Options {
+	return Options{
+		ExhaustiveVerifyBits: 16,
+		VerifySamples:        2000,
+		Seed:                 1,
+	}
+}
+
+// Stats reports how a compilation went; the evaluation tables are built
+// from these numbers.
+type Stats struct {
+	CEGISIterations int           // synthesis/verification round trips
+	SkeletonsTried  int           // structural subproblems attempted
+	EntryBudget     int           // final entry budget that succeeded
+	SearchSpaceBits int           // free decision bits of the naive encoding (Table 3)
+	SolverVars      int           // CNF variables of the final successful query
+	Elapsed         time.Duration // wall-clock compile time
+	SynthesisTime   time.Duration
+	VerifyTime      time.Duration
+	TestCases       int // final size of the CEGIS example set
+}

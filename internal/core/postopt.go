@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+// postOptimize implements the back-end of Figure 8 (§5.3): it recursively
+// merges pass-through states into their successors, splits entries whose
+// extraction exceeds the device's per-entry limit, and assigns pipeline
+// stages on pipelined architectures. The synthesis phase deliberately
+// leaves these transformations out of the solver's search space — they are
+// cheap to perform concretely but expensive to encode symbolically.
+func postOptimize(prog *tcam.Program, profile hw.Profile) (*tcam.Program, error) {
+	prog = foldSingletonStates(prog, profile)
+	prog = mergePassThroughStates(prog)
+	prog = splitWideExtractions(prog, profile)
+	if profile.Arch != hw.SingleTable {
+		var err error
+		prog, err = assignStages(prog, profile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// foldSingletonStates absorbs states that hold exactly one unconditional
+// entry (mask 0: pure extraction plus transition) into every entry that
+// points at them — the state-clustering effect of Figure 1 that lets one
+// TCAM entry advance over several headers. An entry absorbs its successor
+// only while the combined extraction stays within the device's per-entry
+// extraction limit; entries that cannot absorb keep the original state, so
+// folding never loses correctness. Runs to fixpoint, so chains collapse.
+func foldSingletonStates(prog *tcam.Program, profile hw.Profile) *tcam.Program {
+	for {
+		changed := false
+		// Identify foldable states.
+		type fold struct {
+			extracts []pir.Extract
+			next     tcam.Target
+		}
+		foldable := map[[2]int]fold{}
+		for i := range prog.States {
+			st := &prog.States[i]
+			if len(st.Entries) != 1 {
+				continue
+			}
+			e := st.Entries[0]
+			if e.Mask != 0 || len(e.Extracts) == 0 {
+				continue
+			}
+			if e.Next.Kind == tcam.ToState && e.Next.Table == st.Table && e.Next.State == st.ID {
+				continue // self loop (would not terminate)
+			}
+			// Start state cannot be absorbed (it has no predecessors' entry
+			// to live in), but it can absorb others.
+			if st.Table == 0 && st.ID == 0 {
+				continue
+			}
+			foldable[[2]int{st.Table, st.ID}] = fold{extracts: e.Extracts, next: e.Next}
+		}
+		if len(foldable) == 0 {
+			break
+		}
+		for i := range prog.States {
+			for ei := range prog.States[i].Entries {
+				e := &prog.States[i].Entries[ei]
+				if e.Next.Kind != tcam.ToState {
+					continue
+				}
+				f, ok := foldable[[2]int{e.Next.Table, e.Next.State}]
+				if !ok {
+					continue
+				}
+				if f.next.Kind == tcam.ToState && f.next.Table == prog.States[i].Table && f.next.State == prog.States[i].ID {
+					continue // folding would create a self edge we cannot verify cheaply; skip
+				}
+				bits := 0
+				for _, x := range append(append([]pir.Extract(nil), e.Extracts...), f.extracts...) {
+					fd, _ := prog.Spec.Field(x.Field)
+					if fd.Var {
+						continue // streamed; not charged against the budget
+					}
+					bits += fd.Width
+				}
+				if profile.ExtractLimit > 0 && bits > profile.ExtractLimit {
+					continue
+				}
+				e.Extracts = append(append([]pir.Extract(nil), e.Extracts...), f.extracts...)
+				e.Next = f.next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		prog = dropUnreachable(prog)
+	}
+	return dropUnreachable(prog)
+}
+
+// dropUnreachable removes states no entry and no start position can reach.
+func dropUnreachable(prog *tcam.Program) *tcam.Program {
+	reach := map[[2]int]bool{{0, 0}: true}
+	for {
+		grew := false
+		for i := range prog.States {
+			st := &prog.States[i]
+			if !reach[[2]int{st.Table, st.ID}] {
+				continue
+			}
+			for _, e := range st.Entries {
+				if e.Next.Kind == tcam.ToState && !reach[[2]int{e.Next.Table, e.Next.State}] {
+					reach[[2]int{e.Next.Table, e.Next.State}] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	out := &tcam.Program{Spec: prog.Spec}
+	for i := range prog.States {
+		if reach[[2]int{prog.States[i].Table, prog.States[i].ID}] {
+			out.States = append(out.States, prog.States[i])
+		}
+	}
+	return out
+}
+
+// mergePassThroughStates merges state A into state B when A holds exactly
+// one enabled entry, that entry is a pure wildcard transitioning to B, B's
+// only predecessor is A, and B's key does not reference A's extraction via
+// containers in a way that shifting would break. A's extraction is
+// prepended to B's and B's lookahead windows shift past it — exactly the
+// paper's "merge states with only one default transition rule" rule, which
+// is what turns the Pure-Extraction benchmark's state chain into a single
+// state.
+func mergePassThroughStates(prog *tcam.Program) *tcam.Program {
+	skip := map[[2]int]bool{} // states proven unmergeable (dynamic width)
+	for {
+		ai, bi := findMergeablePair(prog, skip)
+		if ai < 0 {
+			return prog
+		}
+		a, b := &prog.States[ai], &prog.States[bi]
+		aWidth, ok := staticWidth(prog.Spec, a.Entries[0].Extracts)
+		if !ok {
+			// Varbit extraction width is dynamic; windows cannot shift.
+			skip[[2]int{a.Table, a.ID}] = true
+			continue
+		}
+		// Shift B's lookahead windows past A's extraction.
+		for ki := range b.Key {
+			if b.Key[ki].Lookahead {
+				b.Key[ki].Skip += aWidth
+			}
+		}
+		// Prepend A's extraction to every entry of B.
+		for ei := range b.Entries {
+			b.Entries[ei].Extracts = append(
+				append([]pir.Extract(nil), a.Entries[0].Extracts...),
+				b.Entries[ei].Extracts...)
+		}
+		// Retarget every edge pointing at A to B, drop A.
+		prog = dropState(prog, ai, bi)
+	}
+}
+
+// findMergeablePair locates (A, B) state indices for the merge rule, or
+// (-1, -1).
+func findMergeablePair(prog *tcam.Program, skip map[[2]int]bool) (int, int) {
+	// Predecessor counts by (table, id).
+	pred := map[[2]int][]int{}
+	for i := range prog.States {
+		for _, e := range prog.States[i].Entries {
+			if e.Next.Kind == tcam.ToState {
+				k := [2]int{e.Next.Table, e.Next.State}
+				pred[k] = append(pred[k], i)
+			}
+		}
+	}
+	for ai := range prog.States {
+		a := &prog.States[ai]
+		if skip[[2]int{a.Table, a.ID}] {
+			continue
+		}
+		if len(a.Entries) != 1 || len(a.Entries[0].Extracts) == 0 {
+			continue
+		}
+		e := a.Entries[0]
+		if e.Mask != 0 || e.Next.Kind != tcam.ToState {
+			continue
+		}
+		bi := -1
+		for i := range prog.States {
+			if prog.States[i].Table == e.Next.Table && prog.States[i].ID == e.Next.State {
+				bi = i
+			}
+		}
+		if bi < 0 || bi == ai {
+			continue
+		}
+		// B must have A as its only predecessor, and must not be the start.
+		bKey := [2]int{prog.States[bi].Table, prog.States[bi].ID}
+		if len(pred[bKey]) != 1 || pred[bKey][0] != ai {
+			continue
+		}
+		if prog.States[bi].Table == 0 && prog.States[bi].ID == 0 {
+			continue
+		}
+		// B's key must not reference fields via containers (negative-offset
+		// matches survive a merge only for lookahead windows).
+		container := false
+		for _, k := range prog.States[bi].Key {
+			if !k.Lookahead {
+				container = true
+			}
+		}
+		if container {
+			continue
+		}
+		return ai, bi
+	}
+	return -1, -1
+}
+
+// dropState removes state index ai after its merge into bi: every edge to
+// A is retargeted to B, and when A was the start state, B is relabelled to
+// (0, 0) so it takes over as the entry point.
+func dropState(prog *tcam.Program, ai, bi int) *tcam.Program {
+	aT, aID := prog.States[ai].Table, prog.States[ai].ID
+	bT, bID := prog.States[bi].Table, prog.States[bi].ID
+	aWasStart := aT == 0 && aID == 0
+	out := &tcam.Program{Spec: prog.Spec}
+	for i := range prog.States {
+		if i == ai {
+			continue
+		}
+		st := prog.States[i]
+		st.Entries = append([]tcam.Entry(nil), st.Entries...)
+		if aWasStart && st.Table == bT && st.ID == bID {
+			st.Table, st.ID = 0, 0
+		}
+		out.States = append(out.States, st)
+	}
+	retarget := func(n tcam.Target) tcam.Target {
+		if n.Kind != tcam.ToState {
+			return n
+		}
+		if n.Table == aT && n.State == aID || (aWasStart && n.Table == bT && n.State == bID) {
+			if aWasStart {
+				return tcam.To(0, 0)
+			}
+			return tcam.To(bT, bID)
+		}
+		return n
+	}
+	for i := range out.States {
+		for ei := range out.States[i].Entries {
+			out.States[i].Entries[ei].Next = retarget(out.States[i].Entries[ei].Next)
+		}
+	}
+	return out
+}
+
+// staticWidth sums the widths of an extraction list; ok=false when a
+// varbit member makes the width dynamic.
+func staticWidth(spec *pir.Spec, extracts []pir.Extract) (int, bool) {
+	w := 0
+	for _, e := range extracts {
+		f, _ := spec.Field(e.Field)
+		if f.Var {
+			return 0, false
+		}
+		w += f.Width
+	}
+	return w, true
+}
+
+// splitWideExtractions rewrites entries whose extraction exceeds the
+// device's per-entry bit limit into a chain of continuation states, each
+// extracting at most the limit (§5.1.2 "extraction length limit", handled
+// post-synthesis per §5.3).
+func splitWideExtractions(prog *tcam.Program, profile hw.Profile) *tcam.Program {
+	nextID := 0
+	for i := range prog.States {
+		if prog.States[i].ID >= nextID {
+			nextID = prog.States[i].ID + 1
+		}
+	}
+	out := &tcam.Program{Spec: prog.Spec}
+	for i := range prog.States {
+		st := prog.States[i]
+		newEntries := make([]tcam.Entry, 0, len(st.Entries))
+		for _, e := range st.Entries {
+			groups := chunkExtracts(prog.Spec, e.Extracts, profile.ExtractLimit)
+			if len(groups) <= 1 {
+				newEntries = append(newEntries, e)
+				continue
+			}
+			// First chunk stays in this entry; the rest become a chain of
+			// single-entry continuation states.
+			finalNext := e.Next
+			e.Extracts = groups[0]
+			cur := &e
+			for gi := 1; gi < len(groups); gi++ {
+				cont := tcam.State{
+					Table: st.Table,
+					ID:    nextID,
+					Entries: []tcam.Entry{{
+						Mask:     0,
+						Extracts: groups[gi],
+						Next:     finalNext,
+					}},
+				}
+				nextID++
+				cur.Next = tcam.To(st.Table, cont.ID)
+				out.States = append(out.States, cont)
+				cur = &out.States[len(out.States)-1].Entries[0]
+			}
+			cur.Next = finalNext
+			newEntries = append(newEntries, e)
+		}
+		st.Entries = newEntries
+		out.States = append(out.States, st)
+	}
+	return out
+}
+
+// chunkExtracts partitions an extraction list into runs of at most limit
+// fixed bits each. A single fixed field wider than the limit cannot be
+// split further here (field-level splitting would need spec changes), so
+// it occupies its own chunk; varbit fields are streamed by the device's
+// continuation mechanism and count as zero against the budget.
+func chunkExtracts(spec *pir.Spec, extracts []pir.Extract, limit int) [][]pir.Extract {
+	if limit <= 0 {
+		return [][]pir.Extract{extracts}
+	}
+	var groups [][]pir.Extract
+	var cur []pir.Extract
+	bits := 0
+	for _, e := range extracts {
+		f, _ := spec.Field(e.Field)
+		w := f.Width
+		if f.Var {
+			w = 0
+		}
+		if bits > 0 && bits+w > limit {
+			groups = append(groups, cur)
+			cur, bits = nil, 0
+		}
+		cur = append(cur, e)
+		bits += w
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// assignStages layers a loop-free program into pipeline stages by longest
+// path from the start state: each state's TCAM table becomes its depth.
+// This realizes Figure 11's New1/New2 constraints concretely.
+func assignStages(prog *tcam.Program, profile hw.Profile) (*tcam.Program, error) {
+	type key = [2]int
+	idx := map[key]int{}
+	for i := range prog.States {
+		idx[key{prog.States[i].Table, prog.States[i].ID}] = i
+	}
+	depth := make([]int, len(prog.States))
+	for i := range depth {
+		depth[i] = -1
+	}
+	var visit func(i int, onPath map[int]bool) error
+	visit = func(i int, onPath map[int]bool) error {
+		if onPath[i] {
+			return fmt.Errorf("core: parser loop cannot be pipelined onto %s", profile.Name)
+		}
+		if depth[i] >= 0 {
+			return nil
+		}
+		onPath[i] = true
+		d := 0
+		for _, e := range prog.States[i].Entries {
+			if e.Next.Kind != tcam.ToState {
+				continue
+			}
+			j, ok := idx[key{e.Next.Table, e.Next.State}]
+			if !ok {
+				return fmt.Errorf("core: dangling transition to (%d,%d)", e.Next.Table, e.Next.State)
+			}
+			if err := visit(j, onPath); err != nil {
+				return err
+			}
+			if depth[j]+1 > d {
+				d = depth[j] + 1
+			}
+		}
+		delete(onPath, i)
+		depth[i] = d
+		return nil
+	}
+	start, ok := idx[key{0, 0}]
+	if !ok {
+		return nil, fmt.Errorf("core: program has no start state")
+	}
+	if err := visit(start, map[int]bool{}); err != nil {
+		return nil, err
+	}
+	maxD := 0
+	for i := range prog.States {
+		if depth[i] < 0 {
+			depth[i] = 0 // unreachable; keep at stage of start
+		}
+		if depth[i] > maxD {
+			maxD = depth[i]
+		}
+	}
+	// Stage = maxDepth - depth (start has the greatest depth-to-sink).
+	out := &tcam.Program{Spec: prog.Spec}
+	ids := map[int]int{} // per-stage next state id
+	newID := make([]int, len(prog.States))
+	newStage := make([]int, len(prog.States))
+	for i := range prog.States {
+		newStage[i] = maxD - depth[i]
+		newID[i] = ids[newStage[i]]
+		ids[newStage[i]]++
+	}
+	// Force the start state to (0, 0).
+	if newStage[start] != 0 {
+		return nil, fmt.Errorf("core: start state not in stage 0")
+	}
+	if newID[start] != 0 {
+		for i := range prog.States {
+			if newStage[i] == 0 && newID[i] == 0 {
+				newID[i] = newID[start]
+			}
+		}
+		newID[start] = 0
+	}
+	remap := map[key]tcam.Target{}
+	for i := range prog.States {
+		remap[key{prog.States[i].Table, prog.States[i].ID}] = tcam.To(newStage[i], newID[i])
+	}
+	for i := range prog.States {
+		st := prog.States[i]
+		st.Table = newStage[i]
+		st.ID = newID[i]
+		st.Entries = append([]tcam.Entry(nil), st.Entries...)
+		for ei := range st.Entries {
+			n := st.Entries[ei].Next
+			if n.Kind == tcam.ToState {
+				st.Entries[ei].Next = remap[key{n.Table, n.State}]
+			}
+		}
+		out.States = append(out.States, st)
+	}
+	if maxD+1 > profile.StageLimit {
+		return out, fmt.Errorf("core: program needs %d stages, device has %d", maxD+1, profile.StageLimit)
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+func chainSpec(t *testing.T) *pir.Spec {
+	t.Helper()
+	return pir.MustNew("chain",
+		[]pir.Field{{Name: "a.x", Width: 4}, {Name: "b.y", Width: 4}, {Name: "c.z", Width: 4}},
+		[]pir.State{
+			{Name: "A", Extracts: []pir.Extract{{Field: "a.x"}}, Default: pir.To(1)},
+			{Name: "B", Extracts: []pir.Extract{{Field: "b.y"}}, Default: pir.To(2)},
+			{Name: "C", Extracts: []pir.Extract{{Field: "c.z"}}, Default: pir.AcceptTarget},
+		})
+}
+
+// chainProgram is the literal three-state realization of chainSpec.
+func chainProgram(spec *pir.Spec) *tcam.Program {
+	return &tcam.Program{Spec: spec, States: []tcam.State{
+		{Table: 0, ID: 0, Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "a.x"}}, Next: tcam.To(0, 1)}}},
+		{Table: 0, ID: 1, Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "b.y"}}, Next: tcam.To(0, 2)}}},
+		{Table: 0, ID: 2, Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "c.z"}}, Next: tcam.AcceptTarget}}},
+	}}
+}
+
+func TestFoldSingletonStatesCollapsesChain(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	out := foldSingletonStates(prog, hw.Tofino())
+	r := out.Resources()
+	if r.Entries != 1 || r.States != 1 {
+		t.Fatalf("chain must collapse to one entry: %+v\n%s", r, out)
+	}
+	// Semantics preserved.
+	for v := 0; v < 1<<12; v++ {
+		in := bitstream.FromUint(uint64(v), 12)
+		if !out.Run(in, 0).Same(spec.Run(in, 0)) {
+			t.Fatalf("folding changed semantics on %012b", v)
+		}
+	}
+}
+
+func TestFoldRespectsExtractLimit(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	p := hw.Tofino()
+	p.ExtractLimit = 8 // two fields fit, three do not
+	out := foldSingletonStates(prog, p)
+	r := out.Resources()
+	if r.Entries != 2 {
+		t.Fatalf("want partial fold into 2 entries, got %+v\n%s", r, out)
+	}
+	for v := 0; v < 1<<12; v++ {
+		in := bitstream.FromUint(uint64(v), 12)
+		if !out.Run(in, 0).Same(spec.Run(in, 0)) {
+			t.Fatalf("partial folding changed semantics on %012b", v)
+		}
+	}
+}
+
+func TestFoldSkipsSelfLoops(t *testing.T) {
+	spec := pir.MustNew("loop", []pir.Field{{Name: "h.f", Width: 4}},
+		[]pir.State{{Name: "L", Extracts: []pir.Extract{{Field: "h.f"}}, Default: pir.To(0)}})
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{Extracts: []pir.Extract{{Field: "h.f"}}, Next: tcam.To(0, 0)}},
+	}}}
+	out := foldSingletonStates(prog, hw.Tofino())
+	if out.Resources().States != 1 {
+		t.Error("self-looping state must survive folding")
+	}
+}
+
+func TestDropUnreachable(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	prog.States = append(prog.States, tcam.State{Table: 0, ID: 9,
+		Entries: []tcam.Entry{{Next: tcam.AcceptTarget}}})
+	out := dropUnreachable(prog)
+	if out.Lookup(0, 9) != nil {
+		t.Error("unreachable state must be dropped")
+	}
+	if out.Resources().States != 3 {
+		t.Errorf("states=%d", out.Resources().States)
+	}
+}
+
+func TestSplitWideExtractions(t *testing.T) {
+	spec := pir.MustNew("wide",
+		[]pir.Field{{Name: "h.a", Width: 8}, {Name: "h.b", Width: 8}, {Name: "h.c", Width: 8}},
+		[]pir.State{{Name: "S", Extracts: []pir.Extract{
+			{Field: "h.a"}, {Field: "h.b"}, {Field: "h.c"}}, Default: pir.AcceptTarget}})
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "h.a"}, {Field: "h.b"}, {Field: "h.c"}},
+			Next:     tcam.AcceptTarget,
+		}},
+	}}}
+	p := hw.Tofino()
+	p.ExtractLimit = 16
+	out := splitWideExtractions(prog, p)
+	if err := p.Validate(out); err != nil {
+		t.Fatalf("split program still violates: %v\n%s", err, out)
+	}
+	if out.Resources().Entries < 2 {
+		t.Errorf("expected continuation entries:\n%s", out)
+	}
+	for v := 0; v < 1<<8; v++ {
+		in := bitstream.FromUint(uint64(v)<<16|uint64(v)<<8|uint64(v), 24)
+		if !out.Run(in, 0).Same(spec.Run(in, 0)) {
+			t.Fatalf("split changed semantics")
+		}
+	}
+}
+
+func TestAssignStagesLayersDAG(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	out, err := assignStages(prog, hw.IPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three chained states need three stages, strictly forward.
+	if out.Resources().Stages != 3 {
+		t.Errorf("stages=%d\n%s", out.Resources().Stages, out)
+	}
+	if err := hw.IPU().Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	// Start must stay at (0, 0).
+	if out.Lookup(0, 0) == nil {
+		t.Fatal("start relocated")
+	}
+}
+
+func TestAssignStagesRejectsLoops(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	prog.States[2].Entries[0].Next = tcam.To(0, 0) // close a cycle
+	if _, err := assignStages(prog, hw.IPU()); err == nil ||
+		!strings.Contains(err.Error(), "loop") {
+		t.Errorf("want loop error, got %v", err)
+	}
+}
+
+func TestAssignStagesRespectsStageLimit(t *testing.T) {
+	spec := chainSpec(t)
+	prog := chainProgram(spec)
+	p := hw.IPU()
+	p.StageLimit = 2
+	if _, err := assignStages(prog, p); err == nil ||
+		!strings.Contains(err.Error(), "stages") {
+		t.Errorf("want stage-limit error, got %v", err)
+	}
+}
+
+func TestMergePassThroughShiftsLookahead(t *testing.T) {
+	// A (pure extraction, single wildcard) -> B (lookahead key): the merge
+	// must shift B's window past A's extraction.
+	spec := pir.MustNew("m",
+		[]pir.Field{{Name: "a.x", Width: 4}, {Name: "b.y", Width: 4}},
+		[]pir.State{
+			{Name: "A", Extracts: []pir.Extract{{Field: "a.x"}}, Default: pir.To(1)},
+			{
+				Name:     "B",
+				Extracts: []pir.Extract{{Field: "b.y"}},
+				Key:      []pir.KeyPart{pir.FieldSlice("b.y", 0, 2)},
+				Rules:    []pir.Rule{pir.ExactRule(0b11, 2, pir.RejectTarget)},
+				Default:  pir.AcceptTarget,
+			},
+		})
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{
+		{Table: 0, ID: 0, Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "a.x"}}, Next: tcam.To(0, 1)}}},
+		{Table: 0, ID: 1,
+			Key: []pir.KeyPart{pir.LookaheadBits(0, 2)},
+			Entries: []tcam.Entry{
+				{Value: 0b11, Mask: 0b11, Extracts: []pir.Extract{{Field: "b.y"}}, Next: tcam.RejectTarget},
+				{Value: 0, Mask: 0, Extracts: []pir.Extract{{Field: "b.y"}}, Next: tcam.AcceptTarget},
+			}},
+	}}
+	out := mergePassThroughStates(prog)
+	if out.Resources().States != 1 {
+		t.Fatalf("expected merge:\n%s", out)
+	}
+	for v := 0; v < 1<<8; v++ {
+		in := bitstream.FromUint(uint64(v), 8)
+		if !out.Run(in, 0).Same(spec.Run(in, 0)) {
+			t.Fatalf("merge changed semantics on %08b:\n%s", v, out)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package dpgen reimplements DPParserGen, the dynamic-programming parser
+// generator of Gibb et al. ("Design principles for packet parsers", ANCS
+// 2013), which the paper uses as its research baseline (§7).
+//
+// DPParserGen clusters adjacent parser states to reduce TCAM entries and
+// splits oversized transition keys, but — as §2.3 and §7.2 document — it
+// is restricted and brittle:
+//
+//   - it targets only single-TCAM-table architectures;
+//   - the transition key of a state must come from fields extracted in
+//     that state (no lookahead, no cross-state keys);
+//   - input rules must be exact matches (no mask+value wildcards) and may
+//     not transition to accept on a specific value;
+//   - its entry merging is greedy (first-fit cube merging), which misses
+//     globally better covers;
+//   - its key splitting always checks chunks most-significant-first (the
+//     V1 strategy of Figure 4), which can cost extra entries; and
+//   - it keeps redundant and unreachable entries because it works on the
+//     written form of the program, not its semantics.
+package dpgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+// Unsupported-input errors (the representation restrictions of §7).
+var (
+	ErrMaskedRule    = errors.New("dpgen: mask+value/wildcard matches are not representable")
+	ErrAcceptOnValue = errors.New("dpgen: transition to accept on a specific value is not representable")
+	ErrLookahead     = errors.New("dpgen: lookahead keys are not representable")
+	ErrCrossStateKey = errors.New("dpgen: transition key must come from fields extracted in the same state")
+	ErrArchitecture  = errors.New("dpgen: only single-TCAM-table architectures are supported")
+	ErrLoop          = errors.New("dpgen: parser loops are not supported")
+	ErrResources     = errors.New("dpgen: program does not fit device resources")
+)
+
+// Representable reports whether DPParserGen's input language can express
+// the spec at all; the evaluation only runs it on representable benchmarks.
+func Representable(spec *pir.Spec) error {
+	if spec.HasLoop() {
+		return ErrLoop
+	}
+	for i := range spec.States {
+		st := &spec.States[i]
+		extracted := map[string]bool{}
+		for _, e := range st.Extracts {
+			extracted[e.Field] = true
+		}
+		for _, p := range st.Key {
+			if p.Lookahead {
+				return ErrLookahead
+			}
+			if !extracted[p.Field] {
+				return fmt.Errorf("%w: state %q keys on %q", ErrCrossStateKey, st.Name, p.Field)
+			}
+		}
+		kw := st.KeyWidth()
+		for _, r := range st.Rules {
+			if r.Mask&widthMask(kw) != widthMask(kw) {
+				return fmt.Errorf("%w: state %q", ErrMaskedRule, st.Name)
+			}
+			if r.Next.Kind == pir.Accept {
+				return fmt.Errorf("%w: state %q", ErrAcceptOnValue, st.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a DPParserGen compilation outcome.
+type Result struct {
+	Program *tcam.Program
+	Entries int
+}
+
+// Compile runs the DP generator against a single-TCAM-table profile.
+func Compile(spec *pir.Spec, profile hw.Profile) (*Result, error) {
+	if profile.Arch != hw.SingleTable {
+		return nil, ErrArchitecture
+	}
+	if err := Representable(spec); err != nil {
+		return nil, err
+	}
+
+	prog := &tcam.Program{Spec: spec}
+	reach := spec.Reachable()
+	// DPParserGen emits entries for every written state, reachable or not
+	// (it does not do semantic pruning) — but states must exist in the
+	// table regardless, so unreachable ones still consume entries.
+	_ = reach
+	for si := range spec.States {
+		st := &spec.States[si]
+		implState, err := lowerState(spec, si, profile)
+		if err != nil {
+			return nil, err
+		}
+		prog.States = append(prog.States, implState...)
+		_ = st
+	}
+	res := prog.Resources()
+	if res.Entries > profile.TCAMLimit {
+		return nil, fmt.Errorf("%w: %d entries > %d", ErrResources, res.Entries, profile.TCAMLimit)
+	}
+	return &Result{Program: prog, Entries: res.Entries}, nil
+}
+
+// cube is a partially merged ternary match.
+type cube struct {
+	value, mask uint64
+	next        pir.Target
+}
+
+// lowerState compiles one spec state: greedy entry merging, then MSB-first
+// key splitting when the key exceeds the device width.
+//
+// DPParserGen's hardware model matches one contiguous window anchored at
+// the extraction cursor (Figure 5's "devices that can only start
+// key+value matching from the current extraction cursor"). Key parts that
+// skip bits therefore widen the window, with the gaps wildcarded — which
+// is why two written forms with the same merge count can consume
+// different TCAM resources.
+func lowerState(spec *pir.Spec, si int, profile hw.Profile) ([]tcam.State, error) {
+	st := &spec.States[si]
+	lay := stateOffsets(spec, st)
+	origKW := st.KeyWidth()
+
+	// Window extent: from the cursor to the farthest referenced bit.
+	maxBit := 0
+	for _, p := range st.Key {
+		if end := lay[p.Field] + p.Hi; end > maxBit {
+			maxBit = end
+		}
+	}
+	kw := maxBit
+	var key []pir.KeyPart
+	if kw > 0 {
+		key = []pir.KeyPart{pir.LookaheadBits(0, kw)}
+	}
+
+	// Reposition each rule's value/mask bits from the spec's composed key
+	// into the window.
+	reposition := func(r pir.Rule) pir.Rule {
+		var v, m uint64
+		bit := 0
+		for _, p := range st.Key {
+			w := p.Hi - p.Lo
+			for j := 0; j < w; j++ {
+				srcShift := uint(origKW - bit - 1)
+				dstShift := uint(kw - (lay[p.Field] + p.Lo + j) - 1)
+				v |= (r.Value >> srcShift & 1) << dstShift
+				m |= (r.Mask >> srcShift & 1) << dstShift
+				bit++
+			}
+		}
+		return pir.Rule{Value: v, Mask: m, Next: r.Next}
+	}
+	rules := make([]pir.Rule, len(st.Rules))
+	for i, r := range st.Rules {
+		rules[i] = reposition(r)
+	}
+
+	cubes := greedyMergeMasked(rules)
+	// Default as a final wildcard entry.
+	cubes = append(cubes, cube{value: 0, mask: 0, next: st.Default})
+
+	target := func(t pir.Target) tcam.Target {
+		switch t.Kind {
+		case pir.Accept:
+			return tcam.AcceptTarget
+		case pir.Reject:
+			return tcam.RejectTarget
+		default:
+			return tcam.To(0, t.State*splitFanout)
+		}
+	}
+
+	if kw <= profile.KeyLimit {
+		out := tcam.State{Table: 0, ID: si * splitFanout, Key: key}
+		for _, c := range cubes {
+			out.Entries = append(out.Entries, tcam.Entry{
+				Value:    c.value,
+				Mask:     c.mask,
+				Extracts: append([]pir.Extract(nil), st.Extracts...),
+				Next:     target(c.next),
+			})
+		}
+		return []tcam.State{out}, nil
+	}
+
+	// Key splitting, always MSB-first (the V1 strategy): the first chunk
+	// state fans out one continuation state per surviving distinct prefix.
+	return splitState(spec, si, st, key, cubes, kw, profile, target)
+}
+
+// splitFanout reserves an ID range per spec state for its split chain.
+const splitFanout = 64
+
+// splitState implements DPParserGen's MSB-first key splitting (the V1
+// strategy of Figure 4): the first chunk state expands every reachable
+// exact chunk value — wildcard patterns introduced by merging or defaults
+// are blown up into the exact values they cover — and routes each to a
+// continuation state holding the cubes compatible with that value.
+// Identical continuations are shared, and same-target sibling entries are
+// re-merged greedily. Correct, but often costlier than ParserHawk's
+// synthesized trees.
+func splitState(spec *pir.Spec, si int, st *pir.State, key []pir.KeyPart, cubes []cube, kw int, profile hw.Profile, target func(pir.Target) tcam.Target) ([]tcam.State, error) {
+	chunkW := profile.KeyLimit
+	if chunkW <= 0 || (kw > chunkW && chunkW > 12) {
+		return nil, fmt.Errorf("%w: cannot expand %d-bit chunks", ErrResources, chunkW)
+	}
+
+	var out []tcam.State
+	nextID := si * splitFanout
+	newID := func() (int, error) {
+		id := nextID
+		nextID++
+		if nextID > si*splitFanout+splitFanout {
+			return 0, fmt.Errorf("%w: split fanout exceeded", ErrResources)
+		}
+		return id, nil
+	}
+
+	type memoKey struct {
+		level int
+		sig   string
+	}
+	memo := map[memoKey]int{}
+
+	var build func(cs []cube, level int) (int, error)
+	build = func(cs []cube, level int) (int, error) {
+		sig := ""
+		for _, c := range cs {
+			sig += fmt.Sprintf("%x/%x/%v;", c.value, c.mask, c.next)
+		}
+		if id, ok := memo[memoKey{level, sig}]; ok {
+			return id, nil
+		}
+		id, err := newID()
+		if err != nil {
+			return 0, err
+		}
+		memo[memoKey{level, sig}] = id
+
+		lo := level * chunkW
+		hi := lo + chunkW
+		if hi > kw {
+			hi = kw
+		}
+		w := hi - lo
+		shift := uint(kw - hi)
+		stt := tcam.State{Table: 0, ID: id, Key: sliceKeyParts(key, lo, hi)}
+		last := hi == kw
+
+		if last {
+			for _, c := range cs {
+				stt.Entries = append(stt.Entries, tcam.Entry{
+					Value:    c.value >> shift & widthMask(w),
+					Mask:     c.mask >> shift & widthMask(w),
+					Extracts: append([]pir.Extract(nil), st.Extracts...),
+					Next:     target(c.next),
+				})
+			}
+			out = append(out, stt)
+			return id, nil
+		}
+
+		// Expand every exact chunk value; group values by the priority-
+		// ordered continuation they select.
+		type rootEntry struct {
+			value uint64
+			sub   int
+		}
+		var roots []rootEntry
+		for v := uint64(0); v < 1<<uint(w); v++ {
+			var matching []cube
+			for _, c := range cs {
+				cv := c.value >> shift & widthMask(w)
+				cm := c.mask >> shift & widthMask(w)
+				if v&cm == cv&cm {
+					matching = append(matching, c)
+				}
+			}
+			if len(matching) == 0 {
+				continue
+			}
+			sub, err := build(matching, level+1)
+			if err != nil {
+				return 0, err
+			}
+			roots = append(roots, rootEntry{value: v, sub: sub})
+		}
+		// Greedy first-fit re-merge of sibling values routed to the same
+		// continuation.
+		type rc struct {
+			value, mask uint64
+			sub         int
+		}
+		var rcs []rc
+		for _, r := range roots {
+			rcs = append(rcs, rc{value: r.value, mask: widthMask(w), sub: r.sub})
+		}
+		for {
+			merged := false
+			for i := 0; i < len(rcs) && !merged; i++ {
+				for j := i + 1; j < len(rcs) && !merged; j++ {
+					if rcs[i].sub != rcs[j].sub || rcs[i].mask != rcs[j].mask {
+						continue
+					}
+					diff := (rcs[i].value ^ rcs[j].value) & rcs[i].mask
+					if diff != 0 && diff&(diff-1) == 0 {
+						rcs[i].mask &^= diff
+						rcs[i].value &= rcs[i].mask
+						rcs = append(rcs[:j], rcs[j+1:]...)
+						merged = true
+					}
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+		for _, r := range rcs {
+			stt.Entries = append(stt.Entries, tcam.Entry{
+				Value: r.value, Mask: r.mask, Next: tcam.To(0, r.sub),
+			})
+		}
+		out = append(out, stt)
+		return id, nil
+	}
+	if _, err := build(cubes, 0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// greedyMerge performs first-fit cube merging over exact-match rules at a
+// given key width.
+func greedyMerge(rules []pir.Rule, kw int) []cube {
+	rs := make([]pir.Rule, len(rules))
+	for i, r := range rules {
+		rs[i] = pir.Rule{Value: r.Value & widthMask(kw), Mask: widthMask(kw), Next: r.Next}
+	}
+	return greedyMergeMasked(rs)
+}
+
+// greedyMergeMasked performs first-fit cube merging: repeatedly merge the
+// first pair of entries with the same target and mask whose patterns
+// differ in exactly one care bit. Merging hoists the later entry's
+// coverage up to the earlier entry's priority, so the merge is applied
+// only when no intervening entry with a different target intersects the
+// widened cube (TCAM priority must be preserved). First-fit order makes
+// it miss better covers — the documented suboptimality.
+func greedyMergeMasked(rules []pir.Rule) []cube {
+	var cs []cube
+	for _, r := range rules {
+		cs = append(cs, cube{value: r.Value & r.Mask, mask: r.Mask, next: r.Next})
+	}
+	intersects := func(a, b cube) bool {
+		return (a.value^b.value)&a.mask&b.mask == 0
+	}
+	for {
+		mergedAny := false
+		for i := 0; i < len(cs) && !mergedAny; i++ {
+			for j := i + 1; j < len(cs) && !mergedAny; j++ {
+				if cs[i].next != cs[j].next || cs[i].mask != cs[j].mask {
+					continue
+				}
+				diff := (cs[i].value ^ cs[j].value) & cs[i].mask
+				if diff == 0 || diff&(diff-1) != 0 { // need exactly one bit
+					continue
+				}
+				widened := cube{value: cs[i].value &^ diff, mask: cs[i].mask &^ diff, next: cs[i].next}
+				safe := true
+				for k := 0; k < j; k++ {
+					if k == i {
+						continue
+					}
+					if cs[k].next != widened.next && intersects(cs[k], widened) {
+						safe = false
+						break
+					}
+				}
+				if !safe {
+					continue
+				}
+				cs[i] = widened
+				cs = append(cs[:j], cs[j+1:]...)
+				mergedAny = true
+			}
+		}
+		if !mergedAny {
+			return cs
+		}
+	}
+}
+
+func stateOffsets(spec *pir.Spec, st *pir.State) map[string]int {
+	off := map[string]int{}
+	w := 0
+	for _, e := range st.Extracts {
+		f, _ := spec.Field(e.Field)
+		off[e.Field] = w
+		w += f.Width
+	}
+	return off
+}
+
+func sliceKeyParts(key []pir.KeyPart, lo, hi int) []pir.KeyPart {
+	var out []pir.KeyPart
+	pos := 0
+	for _, p := range key {
+		w := p.BitWidth()
+		plo, phi := pos, pos+w
+		pos = phi
+		s, e := maxInt(plo, lo), minInt(phi, hi)
+		if s >= e {
+			continue
+		}
+		out = append(out, pir.LookaheadBits(p.Skip+(s-plo), e-s))
+	}
+	return out
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

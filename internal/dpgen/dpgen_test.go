@@ -1,0 +1,181 @@
+package dpgen
+
+import (
+	"errors"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+// fig3 is the motivating-example program of Figure 3, with exact rules
+// only (representable by DPParserGen).
+func fig3(t *testing.T) *pir.Spec {
+	t.Helper()
+	return pir.MustNew("fig3",
+		[]pir.Field{
+			{Name: "k", Width: 4},
+			{Name: "a", Width: 2}, {Name: "b", Width: 2}, {Name: "c", Width: 2},
+		},
+		[]pir.State{
+			{
+				Name:     "Start",
+				Extracts: []pir.Extract{{Field: "k"}},
+				Key:      []pir.KeyPart{pir.WholeField("k", 4)},
+				Rules: []pir.Rule{
+					pir.ExactRule(15, 4, pir.To(1)), pir.ExactRule(11, 4, pir.To(1)),
+					pir.ExactRule(7, 4, pir.To(1)), pir.ExactRule(3, 4, pir.To(1)),
+					pir.ExactRule(14, 4, pir.To(2)), pir.ExactRule(2, 4, pir.To(3)),
+				},
+				Default: pir.AcceptTarget,
+			},
+			{Name: "N1", Extracts: []pir.Extract{{Field: "a"}}, Default: pir.AcceptTarget},
+			{Name: "N2", Extracts: []pir.Extract{{Field: "b"}}, Default: pir.AcceptTarget},
+			{Name: "N3", Extracts: []pir.Extract{{Field: "c"}}, Default: pir.AcceptTarget},
+		})
+}
+
+func checkSemantics(t *testing.T, spec *pir.Spec, r *Result, bits int) {
+	t.Helper()
+	for v := uint64(0); v < 1<<uint(bits); v++ {
+		in := bitstream.FromUint(v, bits)
+		got := r.Program.Run(in, 0)
+		want := spec.Run(in, 0)
+		if !got.Same(want) {
+			t.Fatalf("input %0*b: impl %v/%v vs spec %v/%v\n%s",
+				bits, v, got.Accepted, got.Dict, want.Accepted, want.Dict, r.Program)
+		}
+	}
+}
+
+func TestCompileFig3WideDevice(t *testing.T) {
+	spec := fig3(t)
+	r, err := Compile(spec, hw.Parameterized(16, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSemantics(t, spec, r, 10)
+	// Greedy merging reduces the {15,11,7,3} family; with the default
+	// entries for all four states this lands at <= 10 entries.
+	if r.Entries > 10 {
+		t.Errorf("entries=%d", r.Entries)
+	}
+}
+
+func TestCompileFig3NarrowDeviceSplits(t *testing.T) {
+	spec := fig3(t)
+	r, err := Compile(spec, hw.Parameterized(2, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSemantics(t, spec, r, 10)
+	if res := r.Program.Resources(); res.MaxKeyWidth > 2 {
+		t.Errorf("split failed: key width %d", res.MaxKeyWidth)
+	}
+}
+
+func TestGreedyMergeFirstFit(t *testing.T) {
+	rules := []pir.Rule{
+		pir.ExactRule(15, 4, pir.To(1)), pir.ExactRule(11, 4, pir.To(1)),
+		pir.ExactRule(7, 4, pir.To(1)), pir.ExactRule(3, 4, pir.To(1)),
+	}
+	cs := greedyMerge(rules, 4)
+	if len(cs) != 1 {
+		t.Errorf("greedy merge of {15,11,7,3} -> %d cubes, want 1", len(cs))
+	}
+	if cs[0].mask != 0b0011 || cs[0].value != 0b0011 {
+		t.Errorf("merged cube = %04b/%04b", cs[0].value, cs[0].mask)
+	}
+}
+
+func TestGreedyMergeKeepsRedundantEntries(t *testing.T) {
+	rules := []pir.Rule{
+		pir.ExactRule(5, 4, pir.To(1)),
+		pir.ExactRule(5, 4, pir.To(1)), // R1 redundant duplicate
+	}
+	cs := greedyMerge(rules, 4)
+	if len(cs) != 2 {
+		t.Errorf("duplicates must survive (no semantic pruning): %d cubes", len(cs))
+	}
+}
+
+func TestRepresentableRestrictions(t *testing.T) {
+	masked := pir.MustNew("m", []pir.Field{{Name: "k", Width: 4}},
+		[]pir.State{{
+			Name:     "S",
+			Extracts: []pir.Extract{{Field: "k"}},
+			Key:      []pir.KeyPart{pir.WholeField("k", 4)},
+			Rules:    []pir.Rule{{Value: 0b1000, Mask: 0b1000, Next: pir.RejectTarget}},
+			Default:  pir.AcceptTarget,
+		}})
+	if err := Representable(masked); !errors.Is(err, ErrMaskedRule) {
+		t.Errorf("masked: %v", err)
+	}
+
+	acceptOnValue := pir.MustNew("a", []pir.Field{{Name: "k", Width: 4}},
+		[]pir.State{{
+			Name:     "S",
+			Extracts: []pir.Extract{{Field: "k"}},
+			Key:      []pir.KeyPart{pir.WholeField("k", 4)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 4, pir.AcceptTarget)},
+			Default:  pir.RejectTarget,
+		}})
+	if err := Representable(acceptOnValue); !errors.Is(err, ErrAcceptOnValue) {
+		t.Errorf("accept-on-value: %v", err)
+	}
+
+	la := pir.MustNew("l", []pir.Field{{Name: "k", Width: 4}},
+		[]pir.State{{
+			Name:     "S",
+			Extracts: []pir.Extract{{Field: "k"}},
+			Key:      []pir.KeyPart{pir.LookaheadBits(0, 2)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 2, pir.RejectTarget)},
+			Default:  pir.AcceptTarget,
+		}})
+	if err := Representable(la); !errors.Is(err, ErrLookahead) {
+		t.Errorf("lookahead: %v", err)
+	}
+
+	cross := pir.MustNew("c",
+		[]pir.Field{{Name: "x", Width: 2}, {Name: "y", Width: 2}},
+		[]pir.State{
+			{Name: "A", Extracts: []pir.Extract{{Field: "x"}}, Default: pir.To(1)},
+			{
+				Name:     "B",
+				Extracts: []pir.Extract{{Field: "y"}},
+				Key:      []pir.KeyPart{pir.WholeField("x", 2)},
+				Rules:    []pir.Rule{pir.ExactRule(0, 2, pir.RejectTarget)},
+				Default:  pir.AcceptTarget,
+			},
+		})
+	if err := Representable(cross); !errors.Is(err, ErrCrossStateKey) {
+		t.Errorf("cross-state: %v", err)
+	}
+
+	loop := pir.MustNew("lp", []pir.Field{{Name: "k", Width: 2}},
+		[]pir.State{{
+			Name:     "S",
+			Extracts: []pir.Extract{{Field: "k"}},
+			Key:      []pir.KeyPart{pir.WholeField("k", 2)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 2, pir.To(0))},
+			Default:  pir.RejectTarget,
+		}})
+	if err := Representable(loop); !errors.Is(err, ErrLoop) {
+		t.Errorf("loop: %v", err)
+	}
+}
+
+func TestCompileRejectsPipelined(t *testing.T) {
+	if _, err := Compile(fig3(t), hw.IPU()); !errors.Is(err, ErrArchitecture) {
+		t.Errorf("want architecture error, got %v", err)
+	}
+}
+
+func TestCompileRejectsOverBudget(t *testing.T) {
+	p := hw.Parameterized(16, 2, 10)
+	p.TCAMLimit = 2
+	if _, err := Compile(fig3(t), p); !errors.Is(err, ErrResources) {
+		t.Errorf("want resource error, got %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package dpgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+// coverSet enumerates the exact values a cube list maps to each target,
+// respecting priority.
+func coverSet(cs []cube, kw int) map[uint64]pir.Target {
+	out := map[uint64]pir.Target{}
+	for v := uint64(0); v < 1<<uint(kw); v++ {
+		for _, c := range cs {
+			if v&c.mask == c.value&c.mask {
+				out[v] = c.next
+				break
+			}
+		}
+	}
+	return out
+}
+
+func ruleCover(rules []pir.Rule, kw int) map[uint64]pir.Target {
+	out := map[uint64]pir.Target{}
+	for v := uint64(0); v < 1<<uint(kw); v++ {
+		for _, r := range rules {
+			if v&r.Mask == r.Value&r.Mask {
+				out[v] = r.Next
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestGreedyMergePreservesSemantics: for random exact rule lists, the
+// merged cubes map every key value to the same target as the original
+// priority list.
+func TestGreedyMergePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		kw := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(6)
+		var rules []pir.Rule
+		for i := 0; i < n; i++ {
+			tgt := pir.To(rng.Intn(3))
+			rules = append(rules, pir.ExactRule(rng.Uint64()&(1<<uint(kw)-1), kw, tgt))
+		}
+		merged := greedyMerge(rules, kw)
+		if len(merged) > len(rules) {
+			t.Fatalf("merge grew the list: %d -> %d", len(rules), len(merged))
+		}
+		got := coverSet(merged, kw)
+		want := ruleCover(rules, kw)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: coverage size %d vs %d", trial, len(got), len(want))
+		}
+		for v, tg := range want {
+			if got[v] != tg {
+				t.Fatalf("trial %d: value %#x maps to %v, want %v\nrules=%v\nmerged=%v",
+					trial, v, got[v], tg, rules, merged)
+			}
+		}
+	}
+}
+
+// TestSplitPreservesSemantics: random exact rule sets compiled through a
+// narrow device agree with the unsplit spec on every input.
+func TestSplitPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		kw := 4 + rng.Intn(3) // 4-6 bit keys on a 2-bit device
+		n := 1 + rng.Intn(4)
+		var rules []pir.Rule
+		for i := 0; i < n; i++ {
+			rules = append(rules, pir.ExactRule(rng.Uint64()&(1<<uint(kw)-1), kw, pir.To(1)))
+		}
+		spec := pir.MustNew("t",
+			[]pir.Field{{Name: "k", Width: kw}, {Name: "x", Width: 2}},
+			[]pir.State{
+				{
+					Name:     "S",
+					Extracts: []pir.Extract{{Field: "k"}},
+					Key:      []pir.KeyPart{pir.WholeField("k", kw)},
+					Rules:    rules,
+					Default:  pir.AcceptTarget,
+				},
+				{Name: "X", Extracts: []pir.Extract{{Field: "x"}}, Default: pir.AcceptTarget},
+			})
+		profile := hw.Parameterized(2, 2, 16)
+		r, err := Compile(spec, profile)
+		if err != nil {
+			continue // resource overflow on unlucky shapes is fine
+		}
+		total := kw + 2
+		for v := uint64(0); v < 1<<uint(total); v++ {
+			in := bitstream.FromUint(v, total)
+			got := r.Program.Run(in, 0)
+			want := spec.Run(in, 0)
+			if !got.Same(want) {
+				t.Fatalf("trial %d: value %0*b differs\n%s", trial, total, v, r.Program)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package hw describes programmable-parser hardware configurations (§3.1,
+// §5.1.2).
+//
+// ParserHawk's retargetability comes from splitting the implementation
+// encoding into generic FSM-simulation rules and a per-device configuration
+// profile. A Profile captures everything device-specific the synthesizer
+// and the validators need: the parser architecture class and the resource
+// limits (key width, TCAM entries, lookahead window, stages, extraction
+// length).
+package hw
+
+import (
+	"fmt"
+
+	"parserhawk/internal/tcam"
+)
+
+// Arch is the parser architecture class of Figure 2.
+type Arch int
+
+// Architecture classes.
+const (
+	// SingleTable devices (Tofino) hold the whole parser in one TCAM table
+	// whose entries may be revisited, permitting parse loops (Figure 2a).
+	SingleTable Arch = iota
+	// Pipelined devices (Intel IPU) chain one TCAM table per stage; a packet
+	// flows strictly forward, so loops are impossible but throughput is one
+	// packet per cycle (Figure 2b).
+	Pipelined
+	// Interleaved devices (Broadcom Trident) alternate pipelined sub-parsers
+	// with match-action stages (Figure 2c). Modeled as Pipelined with
+	// checkpoints; provided for the retargetability discussion.
+	Interleaved
+)
+
+func (a Arch) String() string {
+	switch a {
+	case SingleTable:
+		return "single-tcam-table"
+	case Pipelined:
+		return "pipelined-tcam-tables"
+	default:
+		return "interleaved"
+	}
+}
+
+// Profile is one device's hardware configuration (§5.1.2). The zero value
+// is not meaningful; use the constructors or fill every field.
+type Profile struct {
+	Name string
+	Arch Arch
+
+	// KeyLimit bounds the state-transition key width per entry, in bits.
+	KeyLimit int
+	// TCAMLimit bounds TCAM entries: total entries for SingleTable devices,
+	// per-stage entries for Pipelined devices.
+	TCAMLimit int
+	// LookaheadLimit bounds how far past the cursor a key may peek
+	// (skip+width), in bits. 0 disables lookahead entirely.
+	LookaheadLimit int
+	// StageLimit bounds the number of pipeline stages (Pipelined only).
+	StageLimit int
+	// ExtractLimit bounds the bits extracted by a single entry; wider fields
+	// are split across entries by the post-synthesis optimizer.
+	ExtractLimit int
+}
+
+// AllowLoops reports whether the architecture permits revisiting entries.
+func (p Profile) AllowLoops() bool { return p.Arch == SingleTable }
+
+// Tofino returns the profile used for the Barefoot Tofino experiments:
+// a single loop-capable TCAM table with a generous entry budget.
+func Tofino() Profile {
+	return Profile{
+		Name:           "tofino",
+		Arch:           SingleTable,
+		KeyLimit:       32,
+		TCAMLimit:      256,
+		LookaheadLimit: 32,
+		ExtractLimit:   256,
+	}
+}
+
+// IPU returns the profile used for the Intel IPU experiments: pipelined
+// TCAM tables, forward-only transitions, bounded stages.
+func IPU() Profile {
+	return Profile{
+		Name:           "ipu",
+		Arch:           Pipelined,
+		KeyLimit:       32,
+		TCAMLimit:      16,
+		LookaheadLimit: 32,
+		StageLimit:     16,
+		ExtractLimit:   128,
+	}
+}
+
+// Parameterized returns a SingleTable profile with explicit limits, used by
+// the Table 4 experiments that sweep hardware configurations.
+func Parameterized(keyLimit, lookahead, extract int) Profile {
+	return Profile{
+		Name:           fmt.Sprintf("param(key=%d,la=%d,ex=%d)", keyLimit, lookahead, extract),
+		Arch:           SingleTable,
+		KeyLimit:       keyLimit,
+		TCAMLimit:      1024,
+		LookaheadLimit: lookahead,
+		ExtractLimit:   extract,
+	}
+}
+
+// Validate checks a TCAM program against the profile, returning the first
+// violated constraint. It is the ground truth the paper's §7.1 correctness
+// validation relies on: a program that validates here is accepted by the
+// device.
+func (p Profile) Validate(prog *tcam.Program) error {
+	res := prog.Resources()
+	if res.MaxKeyWidth > p.KeyLimit {
+		return fmt.Errorf("hw %s: key width %d exceeds limit %d", p.Name, res.MaxKeyWidth, p.KeyLimit)
+	}
+	switch p.Arch {
+	case SingleTable:
+		if res.Entries > p.TCAMLimit {
+			return fmt.Errorf("hw %s: %d TCAM entries exceed limit %d", p.Name, res.Entries, p.TCAMLimit)
+		}
+		for i := range prog.States {
+			if prog.States[i].Table != 0 {
+				return fmt.Errorf("hw %s: single-table device but state uses table %d", p.Name, prog.States[i].Table)
+			}
+		}
+	case Pipelined, Interleaved:
+		perStage := map[int]int{}
+		for i := range prog.States {
+			st := &prog.States[i]
+			perStage[st.Table] += len(st.Entries)
+			if st.Table < 0 || st.Table >= p.StageLimit {
+				return fmt.Errorf("hw %s: stage %d outside 0..%d", p.Name, st.Table, p.StageLimit-1)
+			}
+			for _, e := range st.Entries {
+				// New2 of Figure 11: transitions move strictly forward.
+				if e.Next.Kind == tcam.ToState && e.Next.Table <= st.Table {
+					return fmt.Errorf("hw %s: transition from stage %d to stage %d is not forward",
+						p.Name, st.Table, e.Next.Table)
+				}
+			}
+		}
+		for stage, n := range perStage {
+			if n > p.TCAMLimit {
+				return fmt.Errorf("hw %s: stage %d holds %d entries, limit %d", p.Name, stage, n, p.TCAMLimit)
+			}
+		}
+	}
+	for i := range prog.States {
+		st := &prog.States[i]
+		for _, part := range st.Key {
+			if part.Lookahead && part.Skip+part.Width > p.LookaheadLimit {
+				return fmt.Errorf("hw %s: lookahead reach %d exceeds window %d",
+					p.Name, part.Skip+part.Width, p.LookaheadLimit)
+			}
+		}
+		for _, e := range st.Entries {
+			bits := 0
+			fixedFields := 0
+			for _, x := range e.Extracts {
+				f, ok := prog.Spec.Field(x.Field)
+				if !ok {
+					return fmt.Errorf("hw %s: entry extracts unknown field %q", p.Name, x.Field)
+				}
+				if f.Var {
+					// Variable-length extraction is streamed by the device
+					// with transparent continuation entries, like a single
+					// oversized field; it does not count against the
+					// per-entry budget.
+					continue
+				}
+				fixedFields++
+				bits += f.Width
+			}
+			// A single fixed field wider than the per-entry limit is legal:
+			// the device completes it with extraction-continuation entries
+			// (§5.1.2, "more than one entry may be needed to complete the
+			// extraction of the entire field"). Multi-field overflows must
+			// be split by the compiler instead.
+			if bits > p.ExtractLimit && fixedFields > 1 {
+				return fmt.Errorf("hw %s: entry extracts %d bits, limit %d", p.Name, bits, p.ExtractLimit)
+			}
+		}
+	}
+	return nil
+}

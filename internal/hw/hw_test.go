@@ -1,0 +1,175 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+func onefield(t *testing.T) *pir.Spec {
+	t.Helper()
+	return pir.MustNew("p", []pir.Field{{Name: "f", Width: 8}},
+		[]pir.State{{Name: "S", Extracts: []pir.Extract{{Field: "f"}}, Default: pir.AcceptTarget}})
+}
+
+func TestProfileConstructors(t *testing.T) {
+	tof := Tofino()
+	if tof.Arch != SingleTable || !tof.AllowLoops() {
+		t.Error("tofino must be a loop-capable single table")
+	}
+	ipu := IPU()
+	if ipu.Arch != Pipelined || ipu.AllowLoops() || ipu.StageLimit <= 0 {
+		t.Error("ipu must be pipelined, loop-free, staged")
+	}
+	p := Parameterized(4, 2, 10)
+	if p.KeyLimit != 4 || p.LookaheadLimit != 2 || p.ExtractLimit != 10 {
+		t.Errorf("parameterized profile wrong: %+v", p)
+	}
+}
+
+func TestArchString(t *testing.T) {
+	for a, want := range map[Arch]string{SingleTable: "single", Pipelined: "pipelined", Interleaved: "interleaved"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("%v.String()=%q", int(a), a.String())
+		}
+	}
+}
+
+func TestValidateKeyWidth(t *testing.T) {
+	spec := onefield(t)
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Key:     []pir.KeyPart{pir.WholeField("f", 8)},
+		Entries: []tcam.Entry{{Mask: 0xFF, Value: 1, Next: tcam.AcceptTarget}},
+	}}}
+	p := Parameterized(4, 0, 64)
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "key width") {
+		t.Errorf("want key-width violation, got %v", err)
+	}
+	p.KeyLimit = 8
+	if err := p.Validate(prog); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+}
+
+func TestValidateEntryBudgetSingleTable(t *testing.T) {
+	spec := onefield(t)
+	var entries []tcam.Entry
+	for i := 0; i < 5; i++ {
+		entries = append(entries, tcam.Entry{Next: tcam.AcceptTarget})
+	}
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{Entries: entries}}}
+	p := Tofino()
+	p.TCAMLimit = 4
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "entries") {
+		t.Errorf("want entry violation, got %v", err)
+	}
+}
+
+func TestValidateSingleTableRejectsMultiTable(t *testing.T) {
+	spec := onefield(t)
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{
+		{Table: 0, Entries: []tcam.Entry{{Next: tcam.To(1, 0)}}},
+		{Table: 1, Entries: []tcam.Entry{{Next: tcam.AcceptTarget}}},
+	}}
+	if err := Tofino().Validate(prog); err == nil || !strings.Contains(err.Error(), "table") {
+		t.Errorf("want table violation, got %v", err)
+	}
+}
+
+func TestValidatePipelinedForwardOnly(t *testing.T) {
+	spec := onefield(t)
+	// Backward transition: stage 1 -> stage 0.
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{
+		{Table: 0, Entries: []tcam.Entry{{Next: tcam.To(1, 0)}}},
+		{Table: 1, Entries: []tcam.Entry{{Next: tcam.To(0, 0)}}},
+	}}
+	if err := IPU().Validate(prog); err == nil || !strings.Contains(err.Error(), "forward") {
+		t.Errorf("want forward violation, got %v", err)
+	}
+	// Self-loop within a stage is also non-forward.
+	prog.States[1].Entries[0].Next = tcam.To(1, 0)
+	if err := IPU().Validate(prog); err == nil || !strings.Contains(err.Error(), "forward") {
+		t.Errorf("want forward violation on self loop, got %v", err)
+	}
+}
+
+func TestValidatePipelinedStageBudget(t *testing.T) {
+	spec := onefield(t)
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{
+		{Table: 5, Entries: []tcam.Entry{{Next: tcam.AcceptTarget}}},
+	}}
+	p := IPU()
+	p.StageLimit = 3
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "stage") {
+		t.Errorf("want stage violation, got %v", err)
+	}
+}
+
+func TestValidatePipelinedPerStageEntries(t *testing.T) {
+	spec := onefield(t)
+	var entries []tcam.Entry
+	for i := 0; i < 3; i++ {
+		entries = append(entries, tcam.Entry{Next: tcam.AcceptTarget})
+	}
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{Table: 0, Entries: entries}}}
+	p := IPU()
+	p.TCAMLimit = 2
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "holds") {
+		t.Errorf("want per-stage violation, got %v", err)
+	}
+}
+
+func TestValidateLookaheadWindow(t *testing.T) {
+	spec := onefield(t)
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Key:     []pir.KeyPart{pir.LookaheadBits(6, 4)},
+		Entries: []tcam.Entry{{Next: tcam.AcceptTarget}},
+	}}}
+	p := Tofino()
+	p.LookaheadLimit = 8
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("want lookahead violation, got %v", err)
+	}
+	p.LookaheadLimit = 10
+	if err := p.Validate(prog); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+}
+
+func TestValidateExtractLimit(t *testing.T) {
+	spec := pir.MustNew("p",
+		[]pir.Field{{Name: "f", Width: 8}, {Name: "g", Width: 8}},
+		[]pir.State{{Name: "S",
+			Extracts: []pir.Extract{{Field: "f"}, {Field: "g"}},
+			Default:  pir.AcceptTarget}})
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{
+			Extracts: []pir.Extract{{Field: "f"}, {Field: "g"}},
+			Next:     tcam.AcceptTarget,
+		}},
+	}}}
+	p := Tofino()
+	p.ExtractLimit = 12
+	if err := p.Validate(prog); err == nil || !strings.Contains(err.Error(), "extracts") {
+		t.Errorf("want extract violation for multi-field overflow, got %v", err)
+	}
+	// A single field wider than the limit is completed with continuation
+	// entries by the device and must validate.
+	prog.States[0].Entries[0].Extracts = []pir.Extract{{Field: "f"}}
+	p.ExtractLimit = 4
+	if err := p.Validate(prog); err != nil {
+		t.Errorf("single wide field must validate, got %v", err)
+	}
+}
+
+func TestValidateUnknownField(t *testing.T) {
+	spec := onefield(t)
+	prog := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{Extracts: []pir.Extract{{Field: "ghost"}}, Next: tcam.AcceptTarget}},
+	}}}
+	if err := Tofino().Validate(prog); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("want unknown-field violation, got %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package interleave implements the third parser architecture of Figure
+// 2(c): sub-parsers interleaved with match-action pipeline stages
+// (Broadcom Trident style). The device parses a while, jumps into the
+// packet-processing pipeline — which may rewrite already-extracted header
+// fields — and returns to parsing, so later parse decisions can depend on
+// the rewritten values. That feedback is inexpressible on the other two
+// architectures, which is the paper's point about these devices being
+// "more expressive".
+//
+// A chain is a sequence of stages, each a parser specification followed
+// by an optional pipeline. Compile() synthesizes every sub-parser with
+// the ParserHawk core and glues them; RunSpec() is the chain's reference
+// semantics, used for end-to-end equivalence checking.
+package interleave
+
+import (
+	"fmt"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/core"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/mat"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+// Stage is one parse-then-process step of the chain.
+type Stage struct {
+	// Spec is the sub-parser for this stage. Its Accept means "hand off to
+	// the pipeline and continue with the next stage"; Reject drops the
+	// packet.
+	Spec *pir.Spec
+	// Imports names fields produced by earlier stages (and possibly
+	// rewritten by their pipelines) that this stage's transition keys
+	// reference. They must be declared in Spec with the widths the chain
+	// dictionary carries. This is the Figure 2(c) feedback path: parsing
+	// decisions that depend on pipeline-computed values.
+	Imports []string
+	// Pipe optionally rewrites extracted fields after this stage's parsing
+	// completes. Nil means no processing between this stage and the next.
+	Pipe *mat.Pipeline
+}
+
+// withImports rewrites a stage spec so the imported fields look like a
+// leading extraction: a synthetic state extracts them before the original
+// start state runs. At run time the executor splices the chain
+// dictionary's current values for those fields in front of the remaining
+// input, so the "extraction" reproduces exactly the (possibly rewritten)
+// values — and every downstream key sees them.
+func (st Stage) withImports() (*pir.Spec, int, error) {
+	if len(st.Imports) == 0 {
+		return st.Spec, 0, nil
+	}
+	spec := st.Spec
+	importWidth := 0
+	var extracts []pir.Extract
+	for _, f := range st.Imports {
+		fd, ok := spec.Field(f)
+		if !ok {
+			return nil, 0, fmt.Errorf("interleave: stage %q imports undeclared field %q", spec.Name, f)
+		}
+		if fd.Var {
+			return nil, 0, fmt.Errorf("interleave: stage %q imports varbit field %q", spec.Name, f)
+		}
+		importWidth += fd.Width
+		extracts = append(extracts, pir.Extract{Field: f})
+	}
+	states := make([]pir.State, 0, len(spec.States)+1)
+	states = append(states, pir.State{
+		Name:     "__import",
+		Extracts: extracts,
+		Default:  pir.To(1),
+	})
+	for i := range spec.States {
+		s := spec.States[i]
+		shift := func(t pir.Target) pir.Target {
+			if t.Kind == pir.ToState {
+				return pir.To(t.State + 1)
+			}
+			return t
+		}
+		ns := pir.State{
+			Name:     s.Name,
+			Extracts: append([]pir.Extract(nil), s.Extracts...),
+			Key:      append([]pir.KeyPart(nil), s.Key...),
+			Default:  shift(s.Default),
+		}
+		for _, r := range s.Rules {
+			ns.Rules = append(ns.Rules, pir.Rule{Value: r.Value, Mask: r.Mask, Next: shift(r.Next)})
+		}
+		states = append(states, ns)
+	}
+	out, err := pir.New(spec.Name+"+imports", spec.Fields, states)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, importWidth, nil
+}
+
+// spliceInput builds the effective input for a stage with imports: the
+// chain dictionary's current values for the imported fields, followed by
+// the unconsumed remainder of the packet.
+func spliceInput(st Stage, dict bitstream.Dict, input bitstream.Bits, pos int) bitstream.Bits {
+	if len(st.Imports) == 0 {
+		return input[minInt(pos, len(input)):]
+	}
+	var pre bitstream.Bits
+	for _, f := range st.Imports {
+		fd, _ := st.Spec.Field(f)
+		v := dict[f]
+		pre = append(pre, bitstream.FromUint(v.Uint(0, fd.Width), fd.Width)...)
+	}
+	return pre.Concat(input[minInt(pos, len(input)):])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Program is a compiled interleaved parser: one TCAM program per
+// sub-parser, with the pipelines in between.
+type Program struct {
+	Stages []CompiledStage
+}
+
+// CompiledStage pairs a synthesized sub-parser with its pipeline.
+type CompiledStage struct {
+	Parser *tcam.Program
+	Pipe   *mat.Pipeline
+
+	stage       Stage
+	importWidth int
+}
+
+// Compile synthesizes each sub-parser with the ParserHawk core against
+// the given per-sub-parser hardware profile (Trident sub-parsers are
+// pipelined TCAM sequences, so a Pipelined profile is the natural choice,
+// but any profile works).
+func Compile(stages []Stage, profile hw.Profile, opts core.Options) (*Program, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("interleave: no stages")
+	}
+	out := &Program{}
+	for i, st := range stages {
+		if st.Pipe != nil {
+			if err := st.Pipe.Validate(); err != nil {
+				return nil, fmt.Errorf("interleave: stage %d: %w", i, err)
+			}
+		}
+		spec, importWidth, err := st.withImports()
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Compile(spec, profile, opts)
+		if err != nil {
+			return nil, fmt.Errorf("interleave: stage %d (%s): %w", i, st.Spec.Name, err)
+		}
+		out.Stages = append(out.Stages, CompiledStage{
+			Parser: res.Program, Pipe: st.Pipe, stage: st, importWidth: importWidth,
+		})
+	}
+	return out, nil
+}
+
+// Run executes the compiled chain: each sub-parser resumes at the cursor
+// where the previous one accepted, seeing the (possibly rewritten) field
+// dictionary; each pipeline transforms the dictionary in place.
+func (p *Program) Run(input bitstream.Bits, maxIter int) pir.Result {
+	dict := bitstream.Dict{}
+	pos := 0
+	var last pir.Result
+	for _, st := range p.Stages {
+		stageIn := spliceInput(st.stage, dict, input, pos)
+		res, end := st.Parser.RunFrom(stageIn, 0, dict, maxIter)
+		if !res.Accepted {
+			return res // rejected (or budget-exhausted) mid-chain
+		}
+		pos += end - st.importWidth
+		dict = res.Dict
+		if st.Pipe != nil {
+			dict = st.Pipe.Apply(dict)
+		}
+		last = res
+		last.Dict = dict
+	}
+	return last
+}
+
+// RunSpec is the chain's reference semantics: the specification
+// interpreters with the pipelines in between. Compile's output must be
+// observationally equivalent to it.
+func RunSpec(stages []Stage, input bitstream.Bits, maxIter int) pir.Result {
+	dict := bitstream.Dict{}
+	pos := 0
+	var last pir.Result
+	for _, st := range stages {
+		spec, importWidth, err := st.withImports()
+		if err != nil {
+			return pir.Result{Rejected: true, Dict: dict}
+		}
+		stageIn := spliceInput(st, dict, input, pos)
+		res := runSpecFrom(spec, stageIn, 0, dict, maxIter)
+		if !res.Accepted {
+			return res
+		}
+		pos += res.Consumed - importWidth
+		dict = res.Dict
+		if st.Pipe != nil {
+			dict = st.Pipe.Apply(dict)
+		}
+		last = res
+		last.Dict = dict
+	}
+	return last
+}
+
+// runSpecFrom interprets a spec with a pre-positioned cursor and a
+// pre-seeded dictionary (mirrors tcam.Program.RunFrom for specifications).
+func runSpecFrom(spec *pir.Spec, input bitstream.Bits, pos int, dict bitstream.Dict, maxIter int) pir.Result {
+	if maxIter <= 0 {
+		maxIter = pir.DefaultMaxIterations
+	}
+	res := pir.Result{Dict: dict.Clone()}
+	cur := 0
+	for iter := 0; iter < maxIter; iter++ {
+		st := &spec.States[cur]
+		res.Path = append(res.Path, cur)
+		for _, e := range st.Extracts {
+			w := extractWidth(spec, e, res.Dict)
+			res.Dict[e.Field] = input.Slice(pos, w)
+			pos += w
+		}
+		res.Consumed = pos
+		next := st.Default
+		if len(st.Key) > 0 {
+			key := spec.KeyValue(st, res.Dict, input, pos)
+			for _, r := range st.Rules {
+				if key&r.Mask == r.Value&r.Mask {
+					next = r.Next
+					break
+				}
+			}
+		}
+		switch next.Kind {
+		case pir.Accept:
+			res.Accepted = true
+			return res
+		case pir.Reject:
+			res.Rejected = true
+			return res
+		default:
+			cur = next.State
+		}
+	}
+	res.Rejected = true
+	return res
+}
+
+func extractWidth(spec *pir.Spec, e pir.Extract, dict bitstream.Dict) int {
+	f, _ := spec.Field(e.Field)
+	if e.LenField == "" {
+		return f.Width
+	}
+	lf, _ := spec.Field(e.LenField)
+	n := int(dict[e.LenField].Uint(0, lf.Width))*e.LenScale + e.LenBias
+	if n < 0 {
+		n = 0
+	}
+	if n > f.Width {
+		n = f.Width
+	}
+	return n
+}
+
+// Resources sums the chain's hardware usage: total entries and the total
+// number of sub-parser stages (each sub-parser occupies its own TCAM
+// pipeline segment on the device).
+func (p *Program) Resources() tcam.Resources {
+	var total tcam.Resources
+	for _, st := range p.Stages {
+		r := st.Parser.Resources()
+		total.Entries += r.Entries
+		total.Stages += r.Stages
+		total.States += r.States
+		if r.MaxKeyWidth > total.MaxKeyWidth {
+			total.MaxKeyWidth = r.MaxKeyWidth
+		}
+		if r.MaxEntries > total.MaxEntries {
+			total.MaxEntries = r.MaxEntries
+		}
+	}
+	return total
+}

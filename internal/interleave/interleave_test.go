@@ -1,0 +1,201 @@
+package interleave
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/core"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/mat"
+	"parserhawk/internal/p4"
+)
+
+// normChain builds the canonical Figure 2(c) scenario: the first
+// sub-parser extracts a vendor-specific type tag; the pipeline NORMALIZES
+// it (maps the vendor's private code to the canonical one); the second
+// sub-parser selects on the normalized value. No single parser could
+// express this: the match value seen by stage 2 never appears in the
+// packet.
+func normChain(t *testing.T) []Stage {
+	t.Helper()
+	stage1 := p4.MustParseSpec(`
+header outer { bit<4> vendorType; }
+parser Outer {
+    state start { extract(outer); transition accept; }
+}
+`)
+	stage2 := p4.MustParseSpec(`
+header outer { bit<4> vendorType; }
+header inner { bit<4> payload; }
+parser Inner {
+    state start {
+        transition select(outer.vendorType) {
+            0x3     : parse_inner;
+            default : accept;
+        }
+    }
+    state parse_inner { extract(inner); transition accept; }
+}
+`)
+	// The pipeline maps vendor codes {0xA, 0xB} to the canonical 0x3.
+	pipe := &mat.Pipeline{Tables: []mat.Table{{
+		Name: "normalize",
+		Rules: []mat.Rule{
+			{
+				Match:   []mat.FieldMatch{{Field: "outer.vendorType", Value: 0xA, Mask: 0xE, Width: 4}},
+				Actions: []mat.Action{{Field: "outer.vendorType", Width: 4, SetConst: mat.U64(0x3)}},
+			},
+		},
+	}}}
+	return []Stage{
+		{Spec: stage1, Pipe: pipe},
+		{Spec: stage2, Imports: []string{"outer.vendorType"}},
+	}
+}
+
+func TestReferenceSemanticsNormalization(t *testing.T) {
+	stages := normChain(t)
+	// Vendor code 0xA: the pipeline rewrites it to 0x3, so stage 2 parses
+	// the inner header even though 0x3 never appears on the wire.
+	in := bitstream.MustFromString("1010_0110")
+	res := RunSpec(stages, in, 0)
+	if !res.Accepted {
+		t.Fatal("must accept")
+	}
+	if got := res.Dict["inner.payload"].Uint(0, 4); got != 0b0110 {
+		t.Errorf("inner=%04b dict=%v", got, res.Dict)
+	}
+	if got := res.Dict["outer.vendorType"].Uint(0, 4); got != 0x3 {
+		t.Errorf("normalized type=%x", got)
+	}
+	// Vendor code 0x4: not normalized, inner not parsed.
+	res = RunSpec(stages, bitstream.MustFromString("0100_0110"), 0)
+	if _, ok := res.Dict["inner.payload"]; ok {
+		t.Error("inner must not be parsed for unknown types")
+	}
+}
+
+func TestCompiledChainMatchesReference(t *testing.T) {
+	stages := normChain(t)
+	prog, err := Compile(stages, hw.IPU(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 1<<8; v++ {
+		in := bitstream.FromUint(uint64(v), 8)
+		got := prog.Run(in, 0)
+		want := RunSpec(stages, in, 0)
+		if got.Accepted != want.Accepted || !got.Dict.Equal(want.Dict) {
+			t.Fatalf("input %08b:\nimpl acc=%v dict=%v\nspec acc=%v dict=%v",
+				v, got.Accepted, got.Dict, want.Accepted, want.Dict)
+		}
+	}
+}
+
+func TestCompiledChainRandomWide(t *testing.T) {
+	stages := normChain(t)
+	prog, err := Compile(stages, hw.Tofino(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		in := bitstream.Random(rng, 12)
+		got := prog.Run(in, 0)
+		want := RunSpec(stages, in, 0)
+		if got.Accepted != want.Accepted || !got.Dict.Equal(want.Dict) {
+			t.Fatalf("input %s: impl %v vs spec %v", in, got.Dict, want.Dict)
+		}
+	}
+}
+
+func TestResourcesSumAcrossStages(t *testing.T) {
+	stages := normChain(t)
+	prog, err := Compile(stages, hw.IPU(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Resources()
+	if r.Entries < 2 || r.Stages < 2 {
+		t.Errorf("resources=%+v", r)
+	}
+}
+
+func TestRejectionMidChain(t *testing.T) {
+	s1 := p4.MustParseSpec(`
+header h { bit<2> k; }
+parser A {
+    state start {
+        extract(h);
+        transition select(h.k) {
+            0       : accept;
+            default : reject;
+        }
+    }
+}
+`)
+	s2 := p4.MustParseSpec(`
+header g { bit<2> x; }
+parser B {
+    state start { extract(g); transition accept; }
+}
+`)
+	stages := []Stage{{Spec: s1}, {Spec: s2}}
+	prog, err := Compile(stages, hw.IPU(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Run(bitstream.MustFromString("1100"), 0)
+	if !res.Rejected {
+		t.Error("stage-1 rejection must drop the packet")
+	}
+	if _, ok := res.Dict["g.x"]; ok {
+		t.Error("stage 2 must not run after a rejection")
+	}
+	ref := RunSpec(stages, bitstream.MustFromString("1100"), 0)
+	if !ref.Rejected {
+		t.Error("reference semantics must agree")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil, hw.IPU(), core.DefaultOptions()); err == nil {
+		t.Error("empty chain must fail")
+	}
+	spec := p4.MustParseSpec(`
+header h { bit<2> k; }
+parser A { state start { extract(h); transition accept; } }
+`)
+	// Import of an undeclared field.
+	_, err := Compile([]Stage{{Spec: spec, Imports: []string{"nope"}}}, hw.IPU(), core.DefaultOptions())
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("want undeclared-import error, got %v", err)
+	}
+	// Invalid pipeline.
+	bad := &mat.Pipeline{Tables: []mat.Table{{
+		Rules: []mat.Rule{{Actions: []mat.Action{{Field: "f", Width: 4}}}},
+	}}}
+	_, err = Compile([]Stage{{Spec: spec, Pipe: bad}}, hw.IPU(), core.DefaultOptions())
+	if err == nil {
+		t.Error("invalid pipeline must fail")
+	}
+}
+
+func TestWithImportsTransform(t *testing.T) {
+	stages := normChain(t)
+	spec, w, err := stages[1].withImports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Errorf("import width=%d", w)
+	}
+	if spec.States[0].Name != "__import" {
+		t.Errorf("state0=%q", spec.States[0].Name)
+	}
+	if len(spec.States) != len(stages[1].Spec.States)+1 {
+		t.Error("state count")
+	}
+}

@@ -1,0 +1,175 @@
+// Package p4 is a front-end for the P4-16 parser subset ParserHawk accepts
+// (Figure 3, Figure 7). It lexes and parses header declarations and parser
+// state machines, then lowers them to the internal/pir representation the
+// synthesizer consumes.
+//
+// Supported syntax:
+//
+//	header ethernet_t {
+//	    bit<48> dst;
+//	    bit<48> src;
+//	    bit<16> etherType;
+//	}
+//	header opt_t {
+//	    bit<4>    len;
+//	    varbit<40> data;   // runtime-sized
+//	}
+//	parser Example {
+//	    state start {
+//	        extract(ethernet_t);
+//	        transition select(ethernet_t.etherType, lookahead<bit<4>>()) {
+//	            0x0800            : parse_ipv4;
+//	            0x8100 &&& 0xFFFF : parse_vlan;  // ternary match
+//	            default           : accept;
+//	        }
+//	    }
+//	    state parse_opts {
+//	        extract(opt_t, opt_t.len * 8);       // varbit length in bits
+//	        transition accept;
+//	    }
+//	}
+//
+// Field slices use P4 bit order: f[hi:lo] with bit 0 the least significant.
+package p4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single punctuation rune or "&&&"
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src, stripping // and /* */ comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("p4: line %d: unterminated block comment", l.line)
+			}
+			l.pos += 2
+		case c == '&' && l.peek(1) == '&' && l.peek(2) == '&':
+			l.emit(tokPunct, "&&&", 0)
+			l.pos += 3
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], 0)
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("{}()<>:;,.[]*+-=_", rune(c)):
+			l.emit(tokPunct, string(c), 0)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("p4: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "", 0)
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, text string, num uint64) {
+	l.toks = append(l.toks, token{kind: k, text: text, num: num, line: l.line})
+}
+
+// lexNumber handles decimal, 0x/0b prefixed, and P4 width-prefixed
+// literals such as 16w0x0800 (the width prefix is validated and dropped;
+// widths come from the declared key parts).
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentPart(rune(l.src[l.pos]))) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	digits := text
+	if i := strings.IndexByte(text, 'w'); i > 0 {
+		if _, err := strconv.Atoi(text[:i]); err != nil {
+			return fmt.Errorf("p4: line %d: bad width prefix in %q", l.line, text)
+		}
+		digits = text[i+1:]
+	}
+	base := 10
+	switch {
+	case strings.HasPrefix(digits, "0x") || strings.HasPrefix(digits, "0X"):
+		base, digits = 16, digits[2:]
+	case strings.HasPrefix(digits, "0b") || strings.HasPrefix(digits, "0B"):
+		base, digits = 2, digits[2:]
+	}
+	v, err := strconv.ParseUint(strings.ReplaceAll(digits, "_", ""), base, 64)
+	if err != nil {
+		return fmt.Errorf("p4: line %d: bad number %q", l.line, text)
+	}
+	l.emit(tokNumber, text, v)
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,217 @@
+package p4
+
+import (
+	"fmt"
+
+	"parserhawk/internal/pir"
+)
+
+// Lower converts the named parser declaration into the pir representation
+// with no value-set contents installed (set arms match nothing, the P4
+// semantics of an empty set). Field names are qualified as
+// "header.field". The "start" state (or the first declared state when no
+// state is named start) becomes state 0.
+func (prog *Program) Lower(parserName string) (*pir.Spec, error) {
+	return prog.LowerWithSets(parserName, nil)
+}
+
+// LowerWithSets lowers the parser with the given value-set contents
+// installed: each arm naming a set expands into one exact rule per
+// installed value, at the arm's priority — the recompile-on-update model
+// real deployments use for parser value sets. Contents beyond a set's
+// declared size are rejected (the device reserved only Size entries).
+func (prog *Program) LowerWithSets(parserName string, contents map[string][]uint64) (*pir.Spec, error) {
+	var pd *ParserDecl
+	for i := range prog.Parsers {
+		if prog.Parsers[i].Name == parserName {
+			pd = &prog.Parsers[i]
+		}
+	}
+	if pd == nil {
+		return nil, fmt.Errorf("p4: no parser named %q", parserName)
+	}
+	if len(pd.States) == 0 {
+		return nil, fmt.Errorf("p4: parser %q has no states", parserName)
+	}
+
+	// Header table.
+	headers := map[string]*HeaderDecl{}
+	var fields []pir.Field
+	fieldWidth := map[string]int{}
+	for i := range prog.Headers {
+		h := &prog.Headers[i]
+		if _, dup := headers[h.Name]; dup {
+			return nil, fmt.Errorf("p4: duplicate header %q", h.Name)
+		}
+		headers[h.Name] = h
+		for _, f := range h.Fields {
+			q := h.Name + "." + f.Name
+			fields = append(fields, pir.Field{Name: q, Width: f.Width, Var: f.Var})
+			fieldWidth[q] = f.Width
+		}
+	}
+
+	// State ordering: start first.
+	order := make([]*StateDecl, 0, len(pd.States))
+	startIdx := 0
+	for i := range pd.States {
+		if pd.States[i].Name == "start" {
+			startIdx = i
+		}
+	}
+	order = append(order, &pd.States[startIdx])
+	for i := range pd.States {
+		if i != startIdx {
+			order = append(order, &pd.States[i])
+		}
+	}
+	stateIdx := map[string]int{}
+	for i, st := range order {
+		if _, dup := stateIdx[st.Name]; dup {
+			return nil, fmt.Errorf("p4: duplicate state %q", st.Name)
+		}
+		stateIdx[st.Name] = i
+	}
+
+	target := func(name string, line int) (pir.Target, error) {
+		switch name {
+		case "accept":
+			return pir.AcceptTarget, nil
+		case "reject":
+			return pir.RejectTarget, nil
+		}
+		i, ok := stateIdx[name]
+		if !ok {
+			return pir.Target{}, fmt.Errorf("p4: line %d: transition to unknown state %q", line, name)
+		}
+		return pir.To(i), nil
+	}
+
+	states := make([]pir.State, len(order))
+	for si, sd := range order {
+		out := pir.State{Name: sd.Name, Default: pir.RejectTarget}
+		for _, ex := range sd.Extracts {
+			h, ok := headers[ex.Header]
+			if !ok {
+				return nil, fmt.Errorf("p4: state %q extracts unknown header %q", sd.Name, ex.Header)
+			}
+			for _, f := range h.Fields {
+				q := h.Name + "." + f.Name
+				pe := pir.Extract{Field: q}
+				if f.Var {
+					if ex.LenField == "" {
+						return nil, fmt.Errorf("p4: state %q: varbit member %q requires a length expression (extract(%s, hdr.field * k))",
+							sd.Name, q, ex.Header)
+					}
+					if _, ok := fieldWidth[ex.LenField]; !ok {
+						return nil, fmt.Errorf("p4: state %q: unknown length field %q", sd.Name, ex.LenField)
+					}
+					pe.LenField = ex.LenField
+					pe.LenScale = ex.LenScale
+					pe.LenBias = ex.LenBias
+				}
+				out.Extracts = append(out.Extracts, pe)
+			}
+		}
+
+		switch {
+		case sd.Select != nil:
+			var parts []pir.KeyPart
+			var widths []int
+			for _, k := range sd.Select.Keys {
+				if k.Lookahead {
+					parts = append(parts, pir.LookaheadBits(0, k.LAWidth))
+					widths = append(widths, k.LAWidth)
+					continue
+				}
+				w, ok := fieldWidth[k.Field]
+				if !ok {
+					return nil, fmt.Errorf("p4: state %q keys on unknown field %q", sd.Name, k.Field)
+				}
+				lo, hi := 0, w
+				if k.Hi >= 0 { // P4 slice [hi:lo], bit 0 = LSB
+					if k.Hi >= w {
+						return nil, fmt.Errorf("p4: state %q: slice [%d:%d] out of range for %d-bit %q",
+							sd.Name, k.Hi, k.Lo, w, k.Field)
+					}
+					lo, hi = w-1-k.Hi, w-k.Lo
+				}
+				parts = append(parts, pir.FieldSlice(k.Field, lo, hi))
+				widths = append(widths, hi-lo)
+			}
+			out.Key = parts
+			out.Default = pir.RejectTarget
+			totalW := 0
+			for _, w := range widths {
+				totalW += w
+			}
+			for _, arm := range sd.Select.Cases {
+				tgt, err := target(arm.Target, arm.Line)
+				if err != nil {
+					return nil, err
+				}
+				if arm.Default {
+					out.Default = tgt
+					continue
+				}
+				if arm.SetRef != "" {
+					var decl *ValueSetDecl
+					for i := range prog.ValueSets {
+						if prog.ValueSets[i].Name == arm.SetRef {
+							decl = &prog.ValueSets[i]
+						}
+					}
+					if decl == nil {
+						return nil, fmt.Errorf("p4: line %d: unknown value_set %q", arm.Line, arm.SetRef)
+					}
+					if decl.Width != totalW {
+						return nil, fmt.Errorf("p4: line %d: value_set %q is %d bits, key is %d",
+							arm.Line, arm.SetRef, decl.Width, totalW)
+					}
+					vals := contents[arm.SetRef]
+					if len(vals) > decl.Size {
+						return nil, fmt.Errorf("p4: value_set %q holds %d values, declared size %d",
+							arm.SetRef, len(vals), decl.Size)
+					}
+					for _, v := range vals {
+						if v > widthMask(totalW) {
+							return nil, fmt.Errorf("p4: value_set %q value %#x exceeds %d bits",
+								arm.SetRef, v, totalW)
+						}
+						out.Rules = append(out.Rules, pir.Rule{
+							Value: v, Mask: widthMask(totalW), Next: tgt,
+						})
+					}
+					continue
+				}
+				var value, mask uint64
+				for i, w := range widths {
+					wm := widthMask(w)
+					if arm.Values[i] > wm {
+						return nil, fmt.Errorf("p4: line %d: value %#x exceeds %d-bit key component",
+							arm.Line, arm.Values[i], w)
+					}
+					value = value<<uint(w) | arm.Values[i]&wm
+					mask = mask<<uint(w) | arm.Masks[i]&wm
+				}
+				out.Rules = append(out.Rules, pir.Rule{Value: value, Mask: mask, Next: tgt})
+			}
+		default:
+			tgt, err := target(sd.Direct, sd.Line)
+			if err != nil {
+				return nil, err
+			}
+			out.Default = tgt
+		}
+		states[si] = out
+	}
+
+	return pir.New(pd.Name, fields, states)
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

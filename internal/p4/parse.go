@@ -1,0 +1,554 @@
+package p4
+
+import (
+	"fmt"
+
+	"parserhawk/internal/pir"
+)
+
+// AST types. The AST stays close to the concrete syntax; lowering to pir
+// happens in lower.go.
+
+// HeaderDecl is a header type declaration with its ordered fields.
+type HeaderDecl struct {
+	Name   string
+	Fields []FieldDecl
+}
+
+// FieldDecl is one header member.
+type FieldDecl struct {
+	Name  string
+	Width int
+	Var   bool
+}
+
+// ParserDecl is a parser declaration with its states.
+type ParserDecl struct {
+	Name   string
+	States []StateDecl
+}
+
+// StateDecl is one parser state.
+type StateDecl struct {
+	Name     string
+	Extracts []ExtractStmt
+	// Transition: either Select with cases, or a direct Target.
+	Select *SelectStmt
+	Direct string // target name when Select == nil
+	Line   int
+}
+
+// ExtractStmt extracts a header instance; an optional length expression
+// sizes the header's varbit member.
+type ExtractStmt struct {
+	Header   string
+	LenField string // "hdr.field" or ""
+	LenScale int
+	LenBias  int
+}
+
+// SelectStmt is a transition select with key parts and cases.
+type SelectStmt struct {
+	Keys  []KeyExpr
+	Cases []CaseArm
+}
+
+// KeyExpr is one select key component.
+type KeyExpr struct {
+	Field     string // "hdr.field" for field refs
+	Hi, Lo    int    // P4 slice bounds (bit 0 = LSB); Hi < 0 when unsliced
+	Lookahead bool
+	LAWidth   int
+}
+
+// CaseArm is one select case: value/mask per key component, a value-set
+// reference, or default.
+type CaseArm struct {
+	Default bool
+	SetRef  string // non-empty when the arm names a value_set
+	Values  []uint64
+	Masks   []uint64
+	Target  string
+	Line    int
+}
+
+// ValueSetDecl declares a runtime-populated match set (P4-16
+// `value_set<bit<W>>(size) name;`). Its contents are installed by the
+// control plane and supplied at lowering time; a select arm naming the
+// set matches any installed value.
+type ValueSetDecl struct {
+	Name  string
+	Width int
+	Size  int // maximum number of installed values (reserved TCAM entries)
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Headers   []HeaderDecl
+	Parsers   []ParserDecl
+	ValueSets []ValueSetDecl
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a source file into its AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokIdent, "header"):
+			h, err := p.header()
+			if err != nil {
+				return nil, err
+			}
+			prog.Headers = append(prog.Headers, h)
+		case p.at(tokIdent, "parser"):
+			pd, err := p.parserDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Parsers = append(prog.Parsers, pd)
+		case p.at(tokIdent, "value_set"):
+			vs, err := p.valueSet()
+			if err != nil {
+				return nil, err
+			}
+			prog.ValueSets = append(prog.ValueSets, vs)
+		default:
+			return nil, p.errf("expected 'header' or 'parser', got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" && k == tokIdent {
+		want = "identifier"
+	}
+	if want == "" && k == tokNumber {
+		want = "number"
+	}
+	return token{}, p.errf("expected %q, got %s", want, p.cur())
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("p4: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// valueSet parses `value_set<bit<W>>(size) name;`.
+func (p *parser) valueSet() (ValueSetDecl, error) {
+	p.next() // "value_set"
+	for _, tok := range []string{"<", "bit", "<"} {
+		kind := tokPunct
+		if tok == "bit" {
+			kind = tokIdent
+		}
+		if _, err := p.expect(kind, tok); err != nil {
+			return ValueSetDecl{}, err
+		}
+	}
+	w, err := p.expect(tokNumber, "")
+	if err != nil {
+		return ValueSetDecl{}, err
+	}
+	for _, tok := range []string{">", ">", "("} {
+		if _, err := p.expect(tokPunct, tok); err != nil {
+			return ValueSetDecl{}, err
+		}
+	}
+	size, err := p.expect(tokNumber, "")
+	if err != nil {
+		return ValueSetDecl{}, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return ValueSetDecl{}, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ValueSetDecl{}, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return ValueSetDecl{}, err
+	}
+	return ValueSetDecl{Name: name.text, Width: int(w.num), Size: int(size.num)}, nil
+}
+
+func (p *parser) header() (HeaderDecl, error) {
+	p.next() // "header"
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return HeaderDecl{}, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return HeaderDecl{}, err
+	}
+	h := HeaderDecl{Name: name.text}
+	for !p.accept(tokPunct, "}") {
+		var isVar bool
+		switch {
+		case p.accept(tokIdent, "bit"):
+		case p.accept(tokIdent, "varbit"):
+			isVar = true
+		default:
+			return HeaderDecl{}, p.errf("expected 'bit' or 'varbit', got %s", p.cur())
+		}
+		if _, err := p.expect(tokPunct, "<"); err != nil {
+			return HeaderDecl{}, err
+		}
+		w, err := p.expect(tokNumber, "")
+		if err != nil {
+			return HeaderDecl{}, err
+		}
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return HeaderDecl{}, err
+		}
+		fn, err := p.expect(tokIdent, "")
+		if err != nil {
+			return HeaderDecl{}, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return HeaderDecl{}, err
+		}
+		h.Fields = append(h.Fields, FieldDecl{Name: fn.text, Width: int(w.num), Var: isVar})
+	}
+	return h, nil
+}
+
+func (p *parser) parserDecl() (ParserDecl, error) {
+	p.next() // "parser"
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ParserDecl{}, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return ParserDecl{}, err
+	}
+	pd := ParserDecl{Name: name.text}
+	for !p.accept(tokPunct, "}") {
+		st, err := p.state()
+		if err != nil {
+			return ParserDecl{}, err
+		}
+		pd.States = append(pd.States, st)
+	}
+	return pd, nil
+}
+
+func (p *parser) state() (StateDecl, error) {
+	if _, err := p.expect(tokIdent, "state"); err != nil {
+		return StateDecl{}, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return StateDecl{}, err
+	}
+	st := StateDecl{Name: name.text, Line: name.line}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return StateDecl{}, err
+	}
+	sawTransition := false
+	for !p.accept(tokPunct, "}") {
+		switch {
+		case p.at(tokIdent, "extract"):
+			ex, err := p.extract()
+			if err != nil {
+				return StateDecl{}, err
+			}
+			if sawTransition {
+				return StateDecl{}, p.errf("extract after transition in state %q", st.Name)
+			}
+			st.Extracts = append(st.Extracts, ex)
+		case p.at(tokIdent, "transition"):
+			if sawTransition {
+				return StateDecl{}, p.errf("duplicate transition in state %q", st.Name)
+			}
+			sawTransition = true
+			p.next()
+			if p.at(tokIdent, "select") {
+				sel, err := p.selectStmt()
+				if err != nil {
+					return StateDecl{}, err
+				}
+				st.Select = &sel
+			} else {
+				tgt, err := p.expect(tokIdent, "")
+				if err != nil {
+					return StateDecl{}, err
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return StateDecl{}, err
+				}
+				st.Direct = tgt.text
+			}
+		default:
+			return StateDecl{}, p.errf("expected 'extract' or 'transition', got %s", p.cur())
+		}
+	}
+	if !sawTransition {
+		st.Direct = "reject"
+	}
+	return st, nil
+}
+
+func (p *parser) extract() (ExtractStmt, error) {
+	p.next() // "extract"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return ExtractStmt{}, err
+	}
+	hdr, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ExtractStmt{}, err
+	}
+	ex := ExtractStmt{Header: hdr.text, LenScale: 1}
+	if p.accept(tokPunct, ",") {
+		// Length expression: fieldRef [* number] [+ number] | number
+		if p.at(tokNumber, "") {
+			n := p.next()
+			ex.LenBias = int(n.num)
+			ex.LenScale = 0
+			ex.LenField = ""
+		} else {
+			ref, err := p.fieldRef()
+			if err != nil {
+				return ExtractStmt{}, err
+			}
+			ex.LenField = ref
+			if p.accept(tokPunct, "*") {
+				n, err := p.expect(tokNumber, "")
+				if err != nil {
+					return ExtractStmt{}, err
+				}
+				ex.LenScale = int(n.num)
+			}
+			if p.accept(tokPunct, "+") {
+				n, err := p.expect(tokNumber, "")
+				if err != nil {
+					return ExtractStmt{}, err
+				}
+				ex.LenBias = int(n.num)
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return ExtractStmt{}, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return ExtractStmt{}, err
+	}
+	return ex, nil
+}
+
+func (p *parser) fieldRef() (string, error) {
+	h, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return "", err
+	}
+	f, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return h.text + "." + f.text, nil
+}
+
+func (p *parser) selectStmt() (SelectStmt, error) {
+	p.next() // "select"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return SelectStmt{}, err
+	}
+	var sel SelectStmt
+	for {
+		k, err := p.keyExpr()
+		if err != nil {
+			return SelectStmt{}, err
+		}
+		sel.Keys = append(sel.Keys, k)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return SelectStmt{}, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return SelectStmt{}, err
+	}
+	for !p.accept(tokPunct, "}") {
+		arm, err := p.caseArm(len(sel.Keys))
+		if err != nil {
+			return SelectStmt{}, err
+		}
+		sel.Cases = append(sel.Cases, arm)
+	}
+	return sel, nil
+}
+
+func (p *parser) keyExpr() (KeyExpr, error) {
+	if p.accept(tokIdent, "lookahead") {
+		for _, tok := range []string{"<", "bit", "<"} {
+			kind := tokPunct
+			if tok == "bit" {
+				kind = tokIdent
+			}
+			if _, err := p.expect(kind, tok); err != nil {
+				return KeyExpr{}, err
+			}
+		}
+		w, err := p.expect(tokNumber, "")
+		if err != nil {
+			return KeyExpr{}, err
+		}
+		for _, tok := range []string{">", ">", "(", ")"} {
+			if _, err := p.expect(tokPunct, tok); err != nil {
+				return KeyExpr{}, err
+			}
+		}
+		return KeyExpr{Lookahead: true, LAWidth: int(w.num)}, nil
+	}
+	ref, err := p.fieldRef()
+	if err != nil {
+		return KeyExpr{}, err
+	}
+	k := KeyExpr{Field: ref, Hi: -1}
+	if p.accept(tokPunct, "[") {
+		hi, err := p.expect(tokNumber, "")
+		if err != nil {
+			return KeyExpr{}, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return KeyExpr{}, err
+		}
+		lo, err := p.expect(tokNumber, "")
+		if err != nil {
+			return KeyExpr{}, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return KeyExpr{}, err
+		}
+		k.Hi, k.Lo = int(hi.num), int(lo.num)
+		if k.Hi < k.Lo {
+			return KeyExpr{}, p.errf("slice [%d:%d] has hi < lo", k.Hi, k.Lo)
+		}
+	}
+	return k, nil
+}
+
+func (p *parser) caseArm(nKeys int) (CaseArm, error) {
+	arm := CaseArm{Line: p.cur().line}
+	switch {
+	case p.accept(tokIdent, "default") || p.accept(tokIdent, "_"):
+		arm.Default = true
+	case p.at(tokIdent, ""):
+		// A bare identifier names a value_set.
+		arm.SetRef = p.next().text
+	case p.accept(tokPunct, "("):
+		for {
+			v, m, err := p.valueMask()
+			if err != nil {
+				return CaseArm{}, err
+			}
+			arm.Values = append(arm.Values, v)
+			arm.Masks = append(arm.Masks, m)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return CaseArm{}, err
+		}
+		if len(arm.Values) != nKeys {
+			return CaseArm{}, p.errf("case tuple has %d values for %d keys", len(arm.Values), nKeys)
+		}
+	default:
+		v, m, err := p.valueMask()
+		if err != nil {
+			return CaseArm{}, err
+		}
+		arm.Values = []uint64{v}
+		arm.Masks = []uint64{m}
+		if nKeys != 1 {
+			return CaseArm{}, p.errf("scalar case value for %d-key select; use a tuple", nKeys)
+		}
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return CaseArm{}, err
+	}
+	tgt, err := p.expect(tokIdent, "")
+	if err != nil {
+		return CaseArm{}, err
+	}
+	arm.Target = tgt.text
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return CaseArm{}, err
+	}
+	return arm, nil
+}
+
+// valueMask parses number ["&&&" number]; a missing mask means exact match
+// (all ones, applied during lowering once widths are known).
+func (p *parser) valueMask() (uint64, uint64, error) {
+	v, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, 0, err
+	}
+	if p.accept(tokPunct, "&&&") {
+		m, err := p.expect(tokNumber, "")
+		if err != nil {
+			return 0, 0, err
+		}
+		return v.num, m.num, nil
+	}
+	return v.num, ^uint64(0), nil
+}
+
+// ParseSpec parses src and lowers its sole parser declaration.
+func ParseSpec(src string) (*pir.Spec, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Parsers) != 1 {
+		return nil, fmt.Errorf("p4: expected exactly one parser, found %d", len(prog.Parsers))
+	}
+	return prog.Lower(prog.Parsers[0].Name)
+}
+
+// MustParseSpec is ParseSpec that panics on error; for tests and the
+// built-in benchmark corpus.
+func MustParseSpec(src string) *pir.Spec {
+	s, err := ParseSpec(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,256 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parserhawk/internal/pir"
+)
+
+// Print renders a pir specification back into the P4 subset this package
+// parses, enabling round-trip tooling (normalize a parser, emit the
+// compiler's view of it, diff two formulations). Specs built through the
+// pir API are printable as long as their field names follow the
+// "header.field" convention and lookahead windows start at the cursor
+// (skip 0), which is all the surface syntax can express.
+func Print(spec *pir.Spec) (string, error) {
+	var sb strings.Builder
+
+	// Group fields into headers by name prefix, preserving declaration
+	// order within each header and ordering headers by first appearance.
+	type header struct {
+		name   string
+		fields []pir.Field
+	}
+	var headers []*header
+	index := map[string]*header{}
+	for _, f := range spec.Fields {
+		i := strings.IndexByte(f.Name, '.')
+		if i <= 0 || i == len(f.Name)-1 {
+			return "", fmt.Errorf("p4: field %q is not in header.field form", f.Name)
+		}
+		hn := f.Name[:i]
+		h, ok := index[hn]
+		if !ok {
+			h = &header{name: hn}
+			index[hn] = h
+			headers = append(headers, h)
+		}
+		h.fields = append(h.fields, f)
+	}
+	for _, h := range headers {
+		fmt.Fprintf(&sb, "header %s {\n", h.name)
+		for _, f := range h.fields {
+			kind := "bit"
+			if f.Var {
+				kind = "varbit"
+			}
+			fmt.Fprintf(&sb, "    %s<%d> %s;\n", kind, f.Width, f.Name[len(h.name)+1:])
+		}
+		sb.WriteString("}\n")
+	}
+
+	name := identifier(spec.Name)
+	fmt.Fprintf(&sb, "parser %s {\n", name)
+	for si := range spec.States {
+		st := &spec.States[si]
+		fmt.Fprintf(&sb, "    state %s {\n", stateName(spec, si))
+
+		// Extractions: group consecutive fields of the same header into one
+		// extract() when they cover the header in declaration order.
+		if err := printExtracts(&sb, spec, st); err != nil {
+			return "", err
+		}
+
+		switch {
+		case len(st.Key) > 0:
+			parts := make([]string, len(st.Key))
+			widths := make([]int, len(st.Key))
+			for i, p := range st.Key {
+				w := p.BitWidth()
+				widths[i] = w
+				if p.Lookahead {
+					if p.Skip != 0 {
+						return "", fmt.Errorf("p4: state %q lookahead skip %d not expressible", st.Name, p.Skip)
+					}
+					parts[i] = fmt.Sprintf("lookahead<bit<%d>>()", p.Width)
+					continue
+				}
+				f, _ := spec.Field(p.Field)
+				if p.Lo == 0 && p.Hi == f.Width {
+					parts[i] = p.Field
+				} else {
+					// pir [lo,hi) MSB-first -> P4 [hi:lo] LSB 0.
+					parts[i] = fmt.Sprintf("%s[%d:%d]", p.Field, f.Width-1-p.Lo, f.Width-p.Hi)
+				}
+			}
+			fmt.Fprintf(&sb, "        transition select(%s) {\n", strings.Join(parts, ", "))
+			for _, r := range st.Rules {
+				fmt.Fprintf(&sb, "            %s : %s;\n",
+					caseValue(r, widths), targetName(spec, r.Next))
+			}
+			fmt.Fprintf(&sb, "            default : %s;\n", targetName(spec, st.Default))
+			sb.WriteString("        }\n")
+		default:
+			fmt.Fprintf(&sb, "        transition %s;\n", targetName(spec, st.Default))
+		}
+		sb.WriteString("    }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}
+
+// printExtracts emits extract() statements. A run of extractions covering
+// one header's fields in order becomes a single extract(header); partial
+// or out-of-order extraction is not expressible in the subset.
+func printExtracts(sb *strings.Builder, spec *pir.Spec, st *pir.State) error {
+	i := 0
+	for i < len(st.Extracts) {
+		e := st.Extracts[i]
+		hn := headerOf(e.Field)
+		// Count how many of this header's fields follow, in order.
+		var fields []pir.Field
+		for _, f := range spec.Fields {
+			if headerOf(f.Name) == hn {
+				fields = append(fields, f)
+			}
+		}
+		if i+len(fields) > len(st.Extracts) {
+			return fmt.Errorf("p4: state %q extracts header %q partially", st.Name, hn)
+		}
+		var vb *pir.Extract
+		for j, f := range fields {
+			got := st.Extracts[i+j]
+			if got.Field != f.Name {
+				return fmt.Errorf("p4: state %q extracts %q out of header order", st.Name, got.Field)
+			}
+			if got.LenField != "" {
+				g := got
+				vb = &g
+			}
+		}
+		if vb != nil {
+			expr := vb.LenField
+			if vb.LenScale != 1 {
+				expr += fmt.Sprintf(" * %d", vb.LenScale)
+			}
+			if vb.LenBias != 0 {
+				expr += fmt.Sprintf(" + %d", vb.LenBias)
+			}
+			fmt.Fprintf(sb, "        extract(%s, %s);\n", hn, expr)
+		} else {
+			fmt.Fprintf(sb, "        extract(%s);\n", hn)
+		}
+		i += len(fields)
+	}
+	return nil
+}
+
+// caseValue renders a rule's (value, mask) against the key component
+// widths: a scalar for single-part keys, a tuple otherwise, with "&&&"
+// only where the mask is not exact.
+func caseValue(r pir.Rule, widths []int) string {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	var items []string
+	shift := total
+	for _, w := range widths {
+		shift -= w
+		wm := uint64(1)<<uint(w) - 1
+		if w >= 64 {
+			wm = ^uint64(0)
+		}
+		v := r.Value >> uint(shift) & wm
+		m := r.Mask >> uint(shift) & wm
+		if m == wm {
+			items = append(items, fmt.Sprintf("%#x", v))
+		} else {
+			items = append(items, fmt.Sprintf("%#x &&& %#x", v&m, m))
+		}
+	}
+	if len(items) == 1 {
+		return items[0]
+	}
+	return "(" + strings.Join(items, ", ") + ")"
+}
+
+func headerOf(field string) string {
+	if i := strings.IndexByte(field, '.'); i > 0 {
+		return field[:i]
+	}
+	return field
+}
+
+func targetName(spec *pir.Spec, t pir.Target) string {
+	switch t.Kind {
+	case pir.Accept:
+		return "accept"
+	case pir.Reject:
+		return "reject"
+	default:
+		return stateName(spec, t.State)
+	}
+}
+
+// stateName sanitizes state names into identifiers, keeping the start
+// state named "start" (index 0 parses back as the entry point regardless,
+// but naming it start keeps round trips stable).
+func stateName(spec *pir.Spec, i int) string {
+	n := identifier(spec.States[i].Name)
+	if i == 0 && n != "start" {
+		return "start"
+	}
+	if i != 0 && n == "start" {
+		return "start_" // avoid stealing the entry point
+	}
+	return n
+}
+
+// identifier rewrites arbitrary names into lexer-safe identifiers
+// deterministically.
+func identifier(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "p"
+	}
+	return b.String()
+}
+
+// Fingerprint returns a stable structural digest of a spec: useful for
+// asserting that two formulations parse to the same machine.
+func Fingerprint(spec *pir.Spec) string {
+	var parts []string
+	for _, f := range spec.Fields {
+		parts = append(parts, fmt.Sprintf("F:%s/%d/%v", f.Name, f.Width, f.Var))
+	}
+	for i := range spec.States {
+		st := &spec.States[i]
+		s := fmt.Sprintf("S%d:", i)
+		for _, e := range st.Extracts {
+			s += fmt.Sprintf("x(%s,%s,%d,%d)", e.Field, e.LenField, e.LenScale, e.LenBias)
+		}
+		for _, k := range st.Key {
+			s += fmt.Sprintf("k(%v)", k)
+		}
+		for _, r := range st.Rules {
+			// Canonicalize under the mask: bits the mask ignores are not
+			// semantic.
+			s += fmt.Sprintf("r(%x,%x,%v)", r.Value&r.Mask, r.Mask, r.Next)
+		}
+		s += fmt.Sprintf("d(%v)", st.Default)
+		parts = append(parts, s)
+	}
+	sort.Strings(parts[:len(spec.Fields)]) // field order is not semantic
+	return strings.Join(parts, ";")
+}

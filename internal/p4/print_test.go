@@ -1,0 +1,160 @@
+package p4_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/p4"
+	"parserhawk/internal/pir"
+)
+
+// TestRoundTripBenchmarks prints every benchmark spec and re-parses it,
+// checking semantic equivalence on exhaustive or random inputs.
+func TestRoundTripBenchmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, b := range benchdata.All() {
+		src, err := p4.Print(b.Spec)
+		if err != nil {
+			t.Errorf("%s: print: %v", b.Name(), err)
+			continue
+		}
+		back, err := p4.ParseSpec(src)
+		if err != nil {
+			t.Errorf("%s: reparse: %v\n%s", b.Name(), err, src)
+			continue
+		}
+		maxIter := b.MaxIterations
+		if maxIter == 0 {
+			maxIter = pir.DefaultMaxIterations
+		}
+		maxLen := b.Spec.MaxConsumedBits(maxIter) + b.Spec.LookaheadUse()
+		checks := 2000
+		exhaustive := maxLen <= 12
+		if exhaustive {
+			checks = 1 << uint(maxLen)
+		}
+		for i := 0; i < checks; i++ {
+			var in bitstream.Bits
+			if exhaustive {
+				in = bitstream.FromUint(uint64(i), maxLen)
+			} else {
+				in = bitstream.Random(rng, maxLen)
+			}
+			got := back.Run(in, maxIter)
+			want := b.Spec.Run(in, maxIter)
+			if !got.Same(want) {
+				t.Fatalf("%s: round trip changed semantics on %s\nsource:\n%s", b.Name(), in, src)
+			}
+		}
+	}
+}
+
+func TestRoundTripWireScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, b := range benchdata.WireScale() {
+		src, err := p4.Print(b.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		back, err := p4.ParseSpec(src)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", b.Name(), err, src)
+		}
+		maxLen := b.Spec.MaxConsumedBits(0) + b.Spec.LookaheadUse()
+		for i := 0; i < 500; i++ {
+			in := bitstream.Random(rng, maxLen)
+			if !back.Run(in, 0).Same(b.Spec.Run(in, 0)) {
+				t.Fatalf("%s: semantics changed", b.Name())
+			}
+		}
+	}
+}
+
+func TestPrintRendersMasksAndTuples(t *testing.T) {
+	src := `
+header h { bit<2> a; bit<2> b; }
+parser P {
+    state start {
+        extract(h);
+        transition select(h.a, h.b) {
+            (0b10, 0b01)          : hit;
+            (0b11 &&& 0b10, 0b00) : hit;
+            default               : accept;
+        }
+    }
+    state hit { transition reject; }
+}
+`
+	spec := p4.MustParseSpec(src)
+	out, err := p4.Print(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "&&&") {
+		t.Errorf("mask not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "(") {
+		t.Errorf("tuple not rendered:\n%s", out)
+	}
+	if p4.Fingerprint(p4.MustParseSpec(out)) != p4.Fingerprint(spec) {
+		t.Errorf("fingerprint changed:\n%s", out)
+	}
+}
+
+func TestPrintVarbit(t *testing.T) {
+	src := `
+header ip { bit<4> ihl; varbit<40> options; }
+parser P {
+    state start {
+        extract(ip, ip.ihl * 8 + 4);
+        transition accept;
+    }
+}
+`
+	spec := p4.MustParseSpec(src)
+	out, err := p4.Print(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ip.ihl * 8 + 4") {
+		t.Errorf("length expression lost:\n%s", out)
+	}
+	if p4.Fingerprint(p4.MustParseSpec(out)) != p4.Fingerprint(spec) {
+		t.Error("varbit round trip changed structure")
+	}
+}
+
+func TestPrintErrorsOnUnprintable(t *testing.T) {
+	// Field without a header prefix.
+	flat := pir.MustNew("flat", []pir.Field{{Name: "plain", Width: 4}},
+		[]pir.State{{Name: "S", Extracts: []pir.Extract{{Field: "plain"}}, Default: pir.AcceptTarget}})
+	if _, err := p4.Print(flat); err == nil {
+		t.Error("flat field names must not print")
+	}
+	// Lookahead with nonzero skip.
+	la := pir.MustNew("la", []pir.Field{{Name: "h.f", Width: 4}},
+		[]pir.State{{
+			Name:     "S",
+			Extracts: []pir.Extract{{Field: "h.f"}},
+			Key:      []pir.KeyPart{pir.LookaheadBits(2, 2)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 2, pir.AcceptTarget)},
+			Default:  pir.RejectTarget,
+		}})
+	if _, err := p4.Print(la); err == nil {
+		t.Error("skipped lookahead must not print")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := p4.MustParseSpec(`header h { bit<2> f; } parser P { state start { extract(h); transition accept; } }`)
+	b := p4.MustParseSpec(`header h { bit<2> f; } parser P { state start { extract(h); transition reject; } }`)
+	if p4.Fingerprint(a) == p4.Fingerprint(b) {
+		t.Error("different semantics, same fingerprint")
+	}
+	if p4.Fingerprint(a) != p4.Fingerprint(a) {
+		t.Error("fingerprint not stable")
+	}
+}

@@ -1,0 +1,143 @@
+package p4_test
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk"
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/p4"
+)
+
+const valueSetSource = `
+header eth { bit<8> etherType; }
+header vip { bit<4> svc; }
+
+value_set<bit<8>>(4) trusted_types;
+
+parser P {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            trusted_types : parse_vip;
+            default       : accept;
+        }
+    }
+    state parse_vip { extract(vip); transition accept; }
+}
+`
+
+func TestValueSetEmptyMatchesNothing(t *testing.T) {
+	prog, err := p4.Parse(valueSetSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.ValueSets) != 1 || prog.ValueSets[0].Size != 4 || prog.ValueSets[0].Width != 8 {
+		t.Fatalf("decl = %+v", prog.ValueSets)
+	}
+	spec, err := prog.Lower("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No contents installed: every packet takes the default.
+	for _, v := range []uint64{0, 0x42, 0xFF} {
+		r := spec.Run(bitstream.FromUint(v<<4, 12), 0)
+		if _, ok := r.Dict["vip.svc"]; ok {
+			t.Errorf("etherType %#x matched an empty set", v)
+		}
+	}
+}
+
+func TestValueSetInstalledContents(t *testing.T) {
+	prog, err := p4.Parse(valueSetSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := prog.LowerWithSets("P", map[string][]uint64{
+		"trusted_types": {0x42, 0x99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range map[uint64]bool{0x42: true, 0x99: true, 0x41: false, 0: false} {
+		r := spec.Run(bitstream.FromUint(v<<4|0x5, 12), 0)
+		_, got := r.Dict["vip.svc"]
+		if got != want {
+			t.Errorf("etherType %#x: parsed vip=%v want %v", v, got, want)
+		}
+	}
+}
+
+func TestValueSetCompilesEndToEnd(t *testing.T) {
+	prog, err := p4.Parse(valueSetSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := prog.LowerWithSets("P", map[string][]uint64{
+		"trusted_types": {0x42, 0x99, 0xA0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parserhawk.Compile(spec, parserhawk.Tofino(), parserhawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := parserhawk.Verify(spec, res.Program, 0); !rep.OK() {
+		t.Fatalf("compiled value-set parser wrong: %s", rep)
+	}
+}
+
+func TestValueSetErrors(t *testing.T) {
+	prog, err := p4.Parse(valueSetSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too many contents for the declared size.
+	_, err = prog.LowerWithSets("P", map[string][]uint64{
+		"trusted_types": {1, 2, 3, 4, 5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "declared size") {
+		t.Errorf("size overflow: %v", err)
+	}
+	// Value wider than the set.
+	_, err = prog.LowerWithSets("P", map[string][]uint64{
+		"trusted_types": {0x1FF},
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("wide value: %v", err)
+	}
+	// Unknown set reference.
+	_, err = p4.ParseSpec(`
+header h { bit<4> k; }
+parser P {
+    state start {
+        extract(h);
+        transition select(h.k) {
+            ghost   : accept;
+            default : reject;
+        }
+    }
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "unknown value_set") {
+		t.Errorf("unknown set: %v", err)
+	}
+	// Width mismatch between set and key.
+	_, err = p4.ParseSpec(`
+header h { bit<4> k; }
+value_set<bit<8>>(2) vs;
+parser P {
+    state start {
+        extract(h);
+        transition select(h.k) {
+            vs      : accept;
+            default : reject;
+        }
+    }
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "key is 4") {
+		t.Errorf("width mismatch: %v", err)
+	}
+}

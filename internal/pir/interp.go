@@ -1,0 +1,177 @@
+package pir
+
+import (
+	"parserhawk/internal/bitstream"
+)
+
+// DefaultMaxIterations bounds FSM execution (the parameter K of §4). It is
+// deliberately generous: well-formed parsers accept or reject long before.
+const DefaultMaxIterations = 64
+
+// Result is the outcome of interpreting a parser on one input bitstream.
+type Result struct {
+	Dict     bitstream.Dict // extracted packet fields
+	Accepted bool           // reached the accept state
+	Rejected bool           // reached the reject state
+	Consumed int            // bits advanced past by extraction
+	Path     []int          // sequence of visited state indices
+}
+
+// Same reports whether two results are observationally equivalent under the
+// §4 correctness definition: same acceptance outcome and same output
+// dictionary.
+func (r Result) Same(o Result) bool {
+	return r.Accepted == o.Accepted && r.Rejected == o.Rejected && r.Dict.Equal(o.Dict)
+}
+
+// Run interprets the specification on input, visiting at most maxIter
+// states. maxIter <= 0 selects DefaultMaxIterations. This is the function
+// Spec(I) of §4 and the left half of the Appendix-13 simulator.
+func (s *Spec) Run(input bitstream.Bits, maxIter int) Result {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	res := Result{Dict: bitstream.Dict{}}
+	cur := 0
+	pos := 0
+	for iter := 0; iter < maxIter; iter++ {
+		st := &s.States[cur]
+		res.Path = append(res.Path, cur)
+		for _, e := range st.Extracts {
+			w := s.extractWidth(e, res.Dict)
+			res.Dict[e.Field] = input.Slice(pos, w)
+			pos += w
+		}
+		res.Consumed = pos
+		next := st.Default
+		if len(st.Key) > 0 {
+			key := s.KeyValue(st, res.Dict, input, pos)
+			for _, r := range st.Rules {
+				if key&r.Mask == r.Value&r.Mask {
+					next = r.Next
+					break
+				}
+			}
+		}
+		switch next.Kind {
+		case Accept:
+			res.Accepted = true
+			return res
+		case Reject:
+			res.Rejected = true
+			return res
+		default:
+			cur = next.State
+		}
+	}
+	// Iteration budget exhausted: the device would abort the packet.
+	res.Rejected = true
+	return res
+}
+
+// KeyValue evaluates a state's transition key given the fields extracted so
+// far, the raw input, and the current cursor position. Field slices of
+// never-extracted fields read as zero, matching hardware container
+// initialisation.
+func (s *Spec) KeyValue(st *State, dict bitstream.Dict, input bitstream.Bits, pos int) uint64 {
+	var key uint64
+	for _, p := range st.Key {
+		w := p.BitWidth()
+		var v uint64
+		if p.Lookahead {
+			v = input.Uint(pos+p.Skip, w)
+		} else {
+			v = dict[p.Field].Uint(p.Lo, w)
+		}
+		key = key<<uint(w) | v
+	}
+	return key
+}
+
+// extractWidth computes the width of one extraction, resolving varbit
+// lengths against already-extracted fields.
+func (s *Spec) extractWidth(e Extract, dict bitstream.Dict) int {
+	f, _ := s.Field(e.Field)
+	if e.LenField == "" {
+		return f.Width
+	}
+	lf, _ := s.Field(e.LenField)
+	n := int(dict[e.LenField].Uint(0, lf.Width))*e.LenScale + e.LenBias
+	if n < 0 {
+		n = 0
+	}
+	if n > f.Width {
+		n = f.Width
+	}
+	return n
+}
+
+// MaxConsumedBits returns an upper bound on the number of input bits any
+// execution of at most maxIter states can consume (or peek at via
+// lookahead). The verification phase uses it to size symbolic inputs. The
+// bound is computed by dynamic programming over (iteration, state) pairs,
+// so loop-free paths are exact and loops are charged only for the states
+// actually repeatable within the budget.
+func (s *Spec) MaxConsumedBits(maxIter int) int {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	// Per-state consumption (varbit charged at max width) and the farthest
+	// bit a state's lookahead can peek at past its entry cursor.
+	per := make([]int, len(s.States))
+	reach := make([]int, len(s.States))
+	for i := range s.States {
+		st := &s.States[i]
+		w := 0
+		for _, e := range st.Extracts {
+			f, _ := s.Field(e.Field)
+			w += f.Width
+		}
+		per[i] = w
+		reach[i] = w
+		for _, p := range st.Key {
+			if p.Lookahead && w+p.Skip+p.Width > reach[i] {
+				reach[i] = w + p.Skip + p.Width
+			}
+		}
+	}
+	const unreachable = -1
+	enter := make([]int, len(s.States)) // max cursor on entry this iteration
+	for i := range enter {
+		enter[i] = unreachable
+	}
+	enter[0] = 0
+	best := 0
+	for iter := 0; iter < maxIter; iter++ {
+		next := make([]int, len(s.States))
+		for i := range next {
+			next[i] = unreachable
+		}
+		progress := false
+		for i, at := range enter {
+			if at == unreachable {
+				continue
+			}
+			if v := at + reach[i]; v > best {
+				best = v
+			}
+			out := at + per[i]
+			st := &s.States[i]
+			relax := func(t Target) {
+				if t.Kind == ToState && out > next[t.State] {
+					next[t.State] = out
+					progress = true
+				}
+			}
+			for _, r := range st.Rules {
+				relax(r.Next)
+			}
+			relax(st.Default)
+		}
+		if !progress {
+			break
+		}
+		enter = next
+	}
+	return best
+}

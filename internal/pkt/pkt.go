@@ -1,0 +1,237 @@
+// Package pkt builds byte-accurate network packets — the repository's
+// stand-in for Scapy in the paper's §7.1 correctness validation. The
+// builders produce real wire formats (Ethernet, 802.1Q VLAN, MPLS, IPv4
+// with options, IPv6, TCP, UDP, ICMP) so compiled parsers can be exercised
+// on genuine traffic shapes.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeVLAN = 0x8100
+	EtherTypeIPv6 = 0x86DD
+	EtherTypeMPLS = 0x8847
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// Marshal appends the header's wire bytes to b.
+func (h Ethernet) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// VLAN is an 802.1Q tag.
+type VLAN struct {
+	PCP       uint8 // 3 bits
+	DEI       bool
+	VID       uint16 // 12 bits
+	EtherType uint16 // inner type
+}
+
+// Marshal appends the tag's wire bytes to b.
+func (h VLAN) Marshal(b []byte) []byte {
+	tci := uint16(h.PCP&0x7)<<13 | uint16(h.VID&0x0FFF)
+	if h.DEI {
+		tci |= 1 << 12
+	}
+	b = binary.BigEndian.AppendUint16(b, tci)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// MPLS is one MPLS label-stack entry.
+type MPLS struct {
+	Label  uint32 // 20 bits
+	TC     uint8  // 3 bits
+	Bottom bool   // bottom-of-stack flag
+	TTL    uint8
+}
+
+// Marshal appends the entry's wire bytes to b.
+func (h MPLS) Marshal(b []byte) []byte {
+	v := h.Label&0xFFFFF<<12 | uint32(h.TC&0x7)<<9 | uint32(h.TTL)
+	if h.Bottom {
+		v |= 1 << 8
+	}
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// IPv4 is an IPv4 header; Options must be a multiple of 4 bytes.
+type IPv4 struct {
+	DSCP     uint8
+	ECN      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst [4]byte
+	Options  []byte
+	// PayloadLen sets totalLength = 20 + len(Options) + PayloadLen.
+	PayloadLen int
+}
+
+// Marshal appends the header's wire bytes (with a correct checksum) to b.
+func (h IPv4) Marshal(b []byte) ([]byte, error) {
+	if len(h.Options)%4 != 0 || len(h.Options) > 40 {
+		return nil, fmt.Errorf("pkt: IPv4 options must be 0-40 bytes in 4-byte units, got %d", len(h.Options))
+	}
+	ihl := 5 + len(h.Options)/4
+	total := ihl*4 + h.PayloadLen
+	start := len(b)
+	b = append(b, byte(4<<4|ihl), h.DSCP<<2|h.ECN&0x3)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(h.Flags&0x7)<<13|h.FragOff&0x1FFF)
+	b = append(b, h.TTL, h.Protocol, 0, 0) // checksum zeroed
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Options...)
+	sum := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+10:], sum)
+	return b, nil
+}
+
+// IPv6 is an IPv6 base header.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     [16]byte
+}
+
+// Marshal appends the header's wire bytes to b.
+func (h IPv6) Marshal(b []byte) []byte {
+	w := uint32(6)<<28 | uint32(h.TrafficClass)<<20 | h.FlowLabel&0xFFFFF
+	b = binary.BigEndian.AppendUint32(b, w)
+	b = binary.BigEndian.AppendUint16(b, h.PayloadLen)
+	b = append(b, h.NextHeader, h.HopLimit)
+	b = append(b, h.Src[:]...)
+	return append(b, h.Dst[:]...)
+}
+
+// TCP is a TCP header without options.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8 // FIN/SYN/RST/PSH/ACK/URG bits
+	Window           uint16
+}
+
+// Marshal appends the header's wire bytes to b (checksum left zero; the
+// parser benchmarks never validate it).
+func (h TCP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, 5<<4, h.Flags) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = append(b, 0, 0, 0, 0) // checksum, urgent pointer
+	return b
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	PayloadLen       int
+}
+
+// Marshal appends the header's wire bytes to b.
+func (h UDP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(8+h.PayloadLen))
+	return append(b, 0, 0) // checksum optional in IPv4
+}
+
+// ICMP is an ICMP header (echo-style).
+type ICMP struct {
+	Type, Code uint8
+	ID, Seq    uint16
+}
+
+// Marshal appends the header's wire bytes (with checksum) to b.
+func (h ICMP) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, h.Type, h.Code, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, h.Seq)
+	sum := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+2:], sum)
+	return b
+}
+
+// Checksum computes the RFC 1071 internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCPPacket builds a full Ethernet/IPv4/TCP packet with the given
+// addressing — the packet shape the paper's bmv2 delivery test uses.
+func TCPPacket(srcIP, dstIP [4]byte, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	eth := Ethernet{
+		Dst:       [6]byte{0x02, 0, 0, 0, 0, 2},
+		Src:       [6]byte{0x02, 0, 0, 0, 0, 1},
+		EtherType: EtherTypeIPv4,
+	}
+	ip := IPv4{
+		TTL: 64, Protocol: ProtoTCP,
+		Src: srcIP, Dst: dstIP,
+		PayloadLen: 20 + len(payload),
+	}
+	tcp := TCP{SrcPort: srcPort, DstPort: dstPort, Flags: 0x02 /* SYN */, Window: 65535}
+
+	b := eth.Marshal(nil)
+	b, err := ip.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	b = tcp.Marshal(b)
+	return append(b, payload...), nil
+}
+
+// MPLSStack builds an Ethernet packet carrying a stack of MPLS labels
+// followed by an IPv4 header — the loop benchmark's traffic.
+func MPLSStack(labels []uint32, dstIP [4]byte) ([]byte, error) {
+	eth := Ethernet{
+		Dst:       [6]byte{0x02, 0, 0, 0, 0, 2},
+		Src:       [6]byte{0x02, 0, 0, 0, 0, 1},
+		EtherType: EtherTypeMPLS,
+	}
+	b := eth.Marshal(nil)
+	for i, l := range labels {
+		b = MPLS{Label: l, TTL: 64, Bottom: i == len(labels)-1}.Marshal(b)
+	}
+	ip := IPv4{TTL: 64, Protocol: ProtoUDP, Dst: dstIP}
+	return ip.Marshal(b)
+}

@@ -1,0 +1,176 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetLayout(t *testing.T) {
+	b := Ethernet{
+		Dst:       [6]byte{1, 2, 3, 4, 5, 6},
+		Src:       [6]byte{7, 8, 9, 10, 11, 12},
+		EtherType: EtherTypeIPv4,
+	}.Marshal(nil)
+	if len(b) != 14 {
+		t.Fatalf("len=%d", len(b))
+	}
+	if b[0] != 1 || b[5] != 6 || b[6] != 7 {
+		t.Error("address layout wrong")
+	}
+	if binary.BigEndian.Uint16(b[12:]) != 0x0800 {
+		t.Error("etherType wrong")
+	}
+}
+
+func TestVLANLayout(t *testing.T) {
+	b := VLAN{PCP: 5, DEI: true, VID: 0x123, EtherType: EtherTypeIPv6}.Marshal(nil)
+	if len(b) != 4 {
+		t.Fatalf("len=%d", len(b))
+	}
+	tci := binary.BigEndian.Uint16(b)
+	if tci>>13 != 5 || tci>>12&1 != 1 || tci&0x0FFF != 0x123 {
+		t.Errorf("tci=%04x", tci)
+	}
+}
+
+func TestMPLSLayout(t *testing.T) {
+	b := MPLS{Label: 0xABCDE, TC: 3, Bottom: true, TTL: 64}.Marshal(nil)
+	v := binary.BigEndian.Uint32(b)
+	if v>>12 != 0xABCDE {
+		t.Errorf("label=%05x", v>>12)
+	}
+	if v>>9&0x7 != 3 || v>>8&1 != 1 || v&0xFF != 64 {
+		t.Errorf("tc/bos/ttl wrong: %08x", v)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	b, err := IPv4{TTL: 64, Protocol: ProtoTCP,
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 20 {
+		t.Fatalf("len=%d", len(b))
+	}
+	// Re-checksumming a valid header yields zero.
+	if got := Checksum(b); got != 0 {
+		t.Errorf("checksum over valid header = %04x, want 0", got)
+	}
+	if b[0] != 0x45 {
+		t.Errorf("version/ihl=%02x", b[0])
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	b, err := IPv4{Options: []byte{1, 1, 1, 1, 2, 2, 2, 2}}.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 28 {
+		t.Fatalf("len=%d", len(b))
+	}
+	if b[0]&0x0F != 7 {
+		t.Errorf("ihl=%d want 7", b[0]&0x0F)
+	}
+	if _, err := (IPv4{Options: []byte{1}}).Marshal(nil); err == nil {
+		t.Error("odd options length must fail")
+	}
+	if _, err := (IPv4{Options: make([]byte, 44)}).Marshal(nil); err == nil {
+		t.Error("oversize options must fail")
+	}
+}
+
+func TestIPv6Layout(t *testing.T) {
+	h := IPv6{TrafficClass: 0xAB, FlowLabel: 0x12345, NextHeader: ProtoUDP, HopLimit: 64}
+	b := h.Marshal(nil)
+	if len(b) != 40 {
+		t.Fatalf("len=%d", len(b))
+	}
+	w := binary.BigEndian.Uint32(b)
+	if w>>28 != 6 || w>>20&0xFF != 0xAB || w&0xFFFFF != 0x12345 {
+		t.Errorf("first word %08x", w)
+	}
+}
+
+func TestTCPUDPLayout(t *testing.T) {
+	b := TCP{SrcPort: 1234, DstPort: 80, Flags: 0x12}.Marshal(nil)
+	if len(b) != 20 {
+		t.Fatalf("tcp len=%d", len(b))
+	}
+	if binary.BigEndian.Uint16(b) != 1234 || binary.BigEndian.Uint16(b[2:]) != 80 {
+		t.Error("ports wrong")
+	}
+	if b[12] != 5<<4 {
+		t.Error("data offset wrong")
+	}
+	u := UDP{SrcPort: 53, DstPort: 53, PayloadLen: 4}.Marshal(nil)
+	if len(u) != 8 || binary.BigEndian.Uint16(u[4:]) != 12 {
+		t.Error("udp length wrong")
+	}
+}
+
+func TestICMPChecksum(t *testing.T) {
+	b := ICMP{Type: 8, ID: 42, Seq: 7}.Marshal(nil)
+	if Checksum(b) != 0 {
+		t.Error("icmp checksum invalid")
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Folding a valid checksum into its own data yields zero.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		buf := append([]byte(nil), data...)
+		buf = append(buf, 0, 0)
+		sum := Checksum(buf)
+		binary.BigEndian.PutUint16(buf[len(buf)-2:], sum)
+		return Checksum(buf) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPPacketComposition(t *testing.T) {
+	p, err := TCPPacket([4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 1234, 80, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 14+20+20+2 {
+		t.Fatalf("len=%d", len(p))
+	}
+	if binary.BigEndian.Uint16(p[12:]) != EtherTypeIPv4 {
+		t.Error("outer etherType")
+	}
+	if p[14+9] != ProtoTCP {
+		t.Error("ip protocol")
+	}
+	if p[14+19] != 2 {
+		t.Error("dst ip last octet")
+	}
+	if binary.BigEndian.Uint16(p[14+20+2:]) != 80 {
+		t.Error("tcp dst port")
+	}
+}
+
+func TestMPLSStackComposition(t *testing.T) {
+	p, err := MPLSStack([]uint32{100, 200, 300}, [4]byte{192, 168, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 14+12+20 {
+		t.Fatalf("len=%d", len(p))
+	}
+	// Only the last entry carries the bottom-of-stack bit.
+	for i := 0; i < 3; i++ {
+		v := binary.BigEndian.Uint32(p[14+4*i:])
+		bos := v>>8&1 == 1
+		if bos != (i == 2) {
+			t.Errorf("label %d: bos=%v", i, bos)
+		}
+	}
+}

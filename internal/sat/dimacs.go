@@ -1,0 +1,106 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DIMACS CNF interchange: the standard format of SAT competitions and
+// external tooling. WriteDIMACS dumps the solver's problem clauses so an
+// instance can be cross-checked with any off-the-shelf solver;
+// ReadDIMACS loads an instance into a fresh solver.
+
+// WriteDIMACS writes every clause the solver was given (as received,
+// before top-level simplification) in DIMACS CNF format, so the exported
+// instance is exactly equisatisfiable with the original. Variables are
+// emitted 1-based per the format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	if !s.RecordOriginal {
+		return fmt.Errorf("sat: WriteDIMACS requires RecordOriginal to be set before adding clauses")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.original)); err != nil {
+		return err
+	}
+	for _, c := range s.original {
+		for _, l := range c {
+			v := l.Var() + 1
+			if l.Neg() {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(bw, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS CNF instance into a fresh solver. Comment
+// lines ("c ...") are skipped; the problem line ("p cnf V C") sizes the
+// variable pool. Returns the solver even when the instance is trivially
+// unsatisfiable (Solve will report Unsat).
+func ReadDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	s.RecordOriginal = true
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	declared := -1
+	var pending []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("sat: bad problem line %q", line)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			declared = n
+			for s.NumVars() < n {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(pending...)
+				pending = pending[:0]
+				continue
+			}
+			idx := v
+			if idx < 0 {
+				idx = -idx
+			}
+			if declared >= 0 && idx > declared {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", v, declared)
+			}
+			for s.NumVars() < idx {
+				s.NewVar()
+			}
+			pending = append(pending, MkLit(idx-1, v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) > 0 {
+		s.AddClause(pending...)
+	}
+	return s, nil
+}

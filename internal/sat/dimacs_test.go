@@ -1,0 +1,130 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		nVars := 3 + rng.Intn(6)
+		nClauses := 2 + rng.Intn(12)
+		var cnf [][]Lit
+		src := New()
+		src.RecordOriginal = true
+		for i := 0; i < nVars; i++ {
+			src.NewVar()
+		}
+		alive := true
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for i := range cl {
+				cl[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+			if !src.AddClause(cl...) {
+				alive = false
+			}
+		}
+		var buf bytes.Buffer
+		if err := src.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		want := src.Solve()
+		got := back.Solve()
+		_ = alive
+		if got != want {
+			t.Fatalf("trial %d: reread instance %v, original %v\ncnf=%v\n%s",
+				trial, got, want, cnf, buf.String())
+		}
+	}
+}
+
+func TestReadDIMACSFormat(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Errorf("vars=%d", s.NumVars())
+	}
+	if s.Solve() != Sat {
+		t.Error("instance is satisfiable")
+	}
+	// x1 false forces... check a model property: both clauses satisfied.
+	m := []bool{s.Model(0), s.Model(1), s.Model(2)}
+	if !(m[0] || !m[1]) || !(m[1] || m[2]) {
+		t.Errorf("model %v violates the clauses", m)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 2 1\n1 0\n",
+		"p cnf 1 1\n2 0\n", // literal beyond declared
+		"p cnf 2 1\n1 zz 0\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}
+
+func TestWriteDIMACSHeader(t *testing.T) {
+	s := New()
+	s.RecordOriginal = true
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "p cnf 2 1\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1 -2 0") {
+		t.Errorf("clause wrong:\n%s", out)
+	}
+}
+
+func TestReadDIMACSWithoutProblemLine(t *testing.T) {
+	// Lenient mode: tolerate missing "p" line, growing variables on demand.
+	s, err := ReadDIMACS(strings.NewReader("1 2 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Error("satisfiable instance")
+	}
+	if s.Model(0) {
+		t.Error("x1 must be false")
+	}
+	if !s.Model(1) {
+		t.Error("x2 must be true")
+	}
+}
+
+func TestWriteDIMACSRequiresRecording(t *testing.T) {
+	s := New()
+	s.NewVar()
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err == nil {
+		t.Error("export without recording must fail")
+	}
+}

@@ -1,0 +1,660 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver. It is the combinatorial search engine underneath ParserHawk's
+// synthesis queries, standing in for Z3's finite-domain core (the paper
+// uses Z3 purely as a bitvector/boolean constraint solver; see DESIGN.md).
+//
+// Features: two-watched-literal propagation, VSIDS branching with phase
+// saving, first-UIP conflict analysis with clause minimization, Luby
+// restarts, and incremental solving under assumptions.
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// Lit is a literal: variable index v (0-based) with polarity, encoded as
+// 2v for the positive literal and 2v+1 for the negation.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrCanceled is returned (via Solver.Err) when solving stopped because the
+// caller's cancel function fired.
+var ErrCanceled = errors.New("sat: solve canceled")
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	// RecordOriginal, when set before clauses are added, logs every clause
+	// AddClause receives (pre-simplification) so WriteDIMACS can export the
+	// exact instance. Off by default: synthesis runs add millions of
+	// clauses and do not need the copy.
+	RecordOriginal bool
+	original       [][]Lit
+
+	watches [][]*clause // literal -> clauses watching it
+
+	assign   []lbool // variable assignment
+	level    []int32 // decision level per variable
+	reason   []*clause
+	phase    []bool // saved phase per variable
+	activity []float64
+	varInc   float64
+	claInc   float64
+
+	order heap // VSIDS priority queue
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	seen      []bool
+	conflicts int64
+	decisions int64
+	propsN    int64
+
+	// Cancel, when non-nil, is polled periodically; returning true aborts
+	// the solve with Unknown and Err() == ErrCanceled.
+	Cancel func() bool
+	// MaxConflicts, when > 0, bounds total conflicts per Solve call.
+	MaxConflicts int64
+
+	err        error
+	unsatForce bool // a top-level conflict made the instance permanently UNSAT
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1, claInc: 1}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v, &s.activity)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// Stats reports cumulative decisions, propagations and conflicts.
+func (s *Solver) Stats() (decisions, propagations, conflicts int64) {
+	return s.decisions, s.propsN, s.conflicts
+}
+
+// Err returns the reason a solve ended Unknown, if any.
+func (s *Solver) Err() error { return s.err }
+
+// AddClause adds a problem clause. It returns false when the clause makes
+// the instance trivially unsatisfiable at the top level. Literals over
+// unallocated variables are an error by construction (panic), as they
+// indicate an encoder bug.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.RecordOriginal {
+		s.original = append(s.original, append([]Lit(nil), lits...))
+	}
+	if s.unsatForce {
+		return false
+	}
+	// Must be at decision level 0 for top-level simplification.
+	s.backtrackTo(0)
+	// Sort, dedupe, drop false literals, detect tautology.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l.Var() >= len(s.assign) {
+			panic("sat: literal over unallocated variable")
+		}
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatForce = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsatForce = true
+			return false
+		}
+		if s.propagate() != nil {
+			s.unsatForce = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assign[v] = boolToLbool(!l.Neg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.phase[v] = !l.Neg()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propsN++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if c.deleted {
+				continue
+			}
+			// Normalize: watched literal being falsified is c.lits[1]'s
+			// negation partner; ensure lits[1] is the falsified one.
+			if c.lits[0].Not() == p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If first watch true, clause satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: retain remaining watchers and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[p] = kept
+				return c
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *Solver) backtrackTo(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := int(s.trailLim[lvl])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		if !s.order.contains(v) {
+			s.order.push(v, &s.activity)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, &s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learned := []Lit{0} // reserve slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	var marked []int // every var whose seen flag we set, cleared at the end
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			marked = append(marked, v)
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learned[0] = p.Not()
+
+	// Clause minimization: drop literals implied by the rest.
+	j := 1
+	for i := 1; i < len(learned); i++ {
+		v := learned[i].Var()
+		r := s.reason[v]
+		if r == nil {
+			learned[j] = learned[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits[1:] {
+			if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learned[j] = learned[i]
+			j++
+		}
+	}
+	learned = learned[:j]
+
+	// Backjump level: highest level among learned[1:].
+	bt := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()] > s.level[learned[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		bt = int(s.level[learned[1].Var()])
+	}
+	for _, v := range marked {
+		s.seen[v] = false
+	}
+	return learned, bt
+}
+
+func (s *Solver) record(learned []Lit) {
+	if len(learned) == 1 {
+		s.enqueue(learned[0], nil)
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), learned...), learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.watch(c)
+	s.bumpClause(c)
+	s.enqueue(learned[0], c)
+}
+
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(a, b int) bool { return s.learnts[a].act > s.learnts[b].act })
+	keep := s.learnts[:0]
+	for i, c := range s.learnts {
+		if i < len(s.learnts)/2 || s.locked(c) || len(c.lits) <= 2 {
+			keep = append(keep, c)
+		} else {
+			c.deleted = true
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+}
+
+// luby computes the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a model extending the given assumption literals.
+// On Sat, Model reads the satisfying assignment. On Unsat under
+// assumptions, the instance may still be satisfiable under others.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.err = nil
+	if s.unsatForce {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	if s.propagate() != nil {
+		s.unsatForce = true
+		return Unsat
+	}
+
+	var restarts int64 = 1
+	conflictBudget := luby(restarts) * 100
+	conflictsHere := int64(0)
+	maxLearnts := int64(len(s.clauses)/3 + 500)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.unsatForce = true
+				return Unsat
+			}
+			// Do not analyze below the assumption levels: if the conflict
+			// is forced by assumptions, report Unsat for this call.
+			learned, bt := s.analyze(confl)
+			if bt < s.assumptionLevel(assumptions) {
+				bt = s.assumptionLevel(assumptions)
+				s.backtrackTo(bt)
+				// Re-propagation may fail under assumptions.
+				if s.value(learned[0]) == lFalse {
+					s.record(learned)
+					return Unsat
+				}
+			} else {
+				s.backtrackTo(bt)
+			}
+			s.record(learned)
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			continue
+		}
+
+		if s.MaxConflicts > 0 && conflictsHere > s.MaxConflicts {
+			return Unknown
+		}
+		if s.Cancel != nil && s.conflicts%64 == 0 && s.Cancel() {
+			s.err = ErrCanceled
+			return Unknown
+		}
+		if conflictsHere > conflictBudget*restarts {
+			restarts++
+			conflictBudget = luby(restarts) * 100
+			s.backtrackTo(s.assumptionLevel(assumptions))
+		}
+		if int64(len(s.learnts)) > maxLearnts {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 10
+		}
+
+		// Place assumptions first.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch s.value(a) {
+			case lTrue:
+				// Already implied: open an empty decision level for it.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.enqueue(a, nil)
+			continue
+		}
+
+		// Pick a branching variable.
+		v := -1
+		for !s.order.empty() {
+			cand := s.order.pop(&s.activity)
+			if s.assign[cand] == lUndef {
+				v = cand
+				break
+			}
+		}
+		if v < 0 {
+			return Sat
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
+	}
+}
+
+func (s *Solver) assumptionLevel(assumptions []Lit) int {
+	if len(assumptions) < s.decisionLevel() {
+		return len(assumptions)
+	}
+	return s.decisionLevel()
+}
+
+// Model returns the value of variable v in the last Sat answer.
+func (s *Solver) Model(v int) bool { return s.assign[v] == lTrue }
+
+// heap is a max-heap on variable activity (VSIDS order).
+type heap struct {
+	data []int32
+	pos  []int32 // var -> index in data, -1 when absent
+}
+
+func (h *heap) ensure(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *heap) empty() bool { return len(h.data) == 0 }
+
+func (h *heap) contains(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *heap) push(v int, act *[]float64) {
+	h.ensure(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, int32(v))
+	h.pos[v] = int32(len(h.data) - 1)
+	h.up(len(h.data)-1, act)
+}
+
+func (h *heap) pop(act *[]float64) int {
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return int(top)
+}
+
+func (h *heap) update(v int, act *[]float64) {
+	if !h.contains(v) {
+		return
+	}
+	h.up(int(h.pos[v]), act)
+}
+
+func (h *heap) up(i int, act *[]float64) {
+	a := *act
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[h.data[i]] <= a[h.data[p]] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *heap) down(i int, act *[]float64) {
+	a := *act
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.data) && a[h.data[l]] > a[h.data[best]] {
+			best = l
+		}
+		if r < len(h.data) && a[h.data[r]] > a[h.data[best]] {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *heap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = int32(i)
+	h.pos[h.data[j]] = int32(j)
+}

@@ -1,0 +1,139 @@
+// Package sim is the correctness harness of §7.1 and Appendix 11
+// (Figure 22): it feeds bitstreams through a specification and a compiled
+// TCAM implementation and compares their output dictionaries, and it
+// replays the paper's bmv2/Scapy test — inject a crafted TCP packet and
+// check that a correctly compiled Ethernet/IP parser delivers it.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/p4"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/pkt"
+	"parserhawk/internal/tcam"
+)
+
+// Report summarises an equivalence check.
+type Report struct {
+	Checked        int
+	Exhaustive     bool
+	Counterexample bitstream.Bits // nil when none found
+	SpecResult     pir.Result
+	ImplResult     pir.Result
+}
+
+// OK reports whether no disagreement was found.
+func (r Report) OK() bool { return r.Counterexample == nil }
+
+func (r Report) String() string {
+	if r.OK() {
+		mode := "sampled"
+		if r.Exhaustive {
+			mode = "exhaustive"
+		}
+		return fmt.Sprintf("equivalent on %d %s inputs", r.Checked, mode)
+	}
+	return fmt.Sprintf("MISMATCH on %s:\n  spec: acc=%v dict=%v\n  impl: acc=%v dict=%v",
+		r.Counterexample, r.SpecResult.Accepted, r.SpecResult.Dict,
+		r.ImplResult.Accepted, r.ImplResult.Dict)
+}
+
+// Check compares spec and impl on the input space, exhaustively when the
+// relevant space is at most exhaustiveBits wide, otherwise on samples
+// random inputs. maxIter bounds FSM execution (0 = default).
+func Check(spec *pir.Spec, impl *tcam.Program, samples, exhaustiveBits int, maxIter int, seed int64) Report {
+	if samples <= 0 {
+		samples = 4096
+	}
+	if exhaustiveBits <= 0 {
+		exhaustiveBits = 16
+	}
+	k := maxIter
+	if k <= 0 {
+		k = pir.DefaultMaxIterations
+	}
+	maxLen := spec.MaxConsumedBits(k) + spec.LookaheadUse()
+	if maxLen == 0 {
+		maxLen = 1
+	}
+
+	try := func(in bitstream.Bits, rep *Report) bool {
+		rep.Checked++
+		got := impl.Run(in, k)
+		want := spec.Run(in, k)
+		if !got.Same(want) {
+			rep.Counterexample = in
+			rep.SpecResult = want
+			rep.ImplResult = got
+			return true
+		}
+		return false
+	}
+
+	var rep Report
+	if maxLen <= exhaustiveBits {
+		rep.Exhaustive = true
+		for v := uint64(0); v < 1<<uint(maxLen); v++ {
+			if try(bitstream.FromUint(v, maxLen), &rep) {
+				return rep
+			}
+		}
+		return rep
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		if try(bitstream.Random(rng, maxLen), &rep) {
+			return rep
+		}
+	}
+	return rep
+}
+
+// WireParserSource is a wire-scale Ethernet → IPv4 → TCP/UDP parser in the
+// P4 subset, with real field widths (48-bit MACs, 16-bit etherType, 32-bit
+// addresses). The bmv2-style delivery test compiles and drives it.
+const WireParserSource = benchdata.WireEthernetIPSource
+
+// WireParser parses WireParserSource.
+func WireParser() *pir.Spec {
+	return p4.MustParseSpec(WireParserSource)
+}
+
+// Delivery is the outcome of the bmv2-style packet test.
+type Delivery struct {
+	Accepted bool
+	DstIP    [4]byte
+	DstPort  uint16
+	Fields   bitstream.Dict
+}
+
+// Delivered reports whether the packet reached the given target IP — the
+// paper's pass criterion ("the packet will be successfully delivered to
+// the target; otherwise, it should be dropped").
+func (d Delivery) Delivered(target [4]byte) bool {
+	return d.Accepted && d.DstIP == target
+}
+
+// InjectTCP builds an Ethernet/IPv4/TCP packet bound for dstIP:dstPort,
+// runs it through the compiled parser program, and decodes the parsed
+// fields.
+func InjectTCP(impl *tcam.Program, dstIP [4]byte, dstPort uint16) (Delivery, error) {
+	raw, err := pkt.TCPPacket([4]byte{10, 0, 0, 1}, dstIP, 49152, dstPort, nil)
+	if err != nil {
+		return Delivery{}, err
+	}
+	res := impl.Run(bitstream.FromBytes(raw), 0)
+	d := Delivery{Accepted: res.Accepted, Fields: res.Dict}
+	if v, ok := res.Dict["ipv4.dst"]; ok {
+		u := v.Uint(0, 32)
+		d.DstIP = [4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)}
+	}
+	if v, ok := res.Dict["tcp.dstPort"]; ok {
+		d.DstPort = uint16(v.Uint(0, 16))
+	}
+	return d, nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/core"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+func TestCheckDetectsBrokenImpl(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "f", Width: 4}},
+		[]pir.State{{Name: "S", Extracts: []pir.Extract{{Field: "f"}}, Default: pir.AcceptTarget}})
+	good := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{Extracts: []pir.Extract{{Field: "f"}}, Next: tcam.AcceptTarget}},
+	}}}
+	rep := Check(spec, good, 0, 0, 0, 1)
+	if !rep.OK() || !rep.Exhaustive {
+		t.Fatalf("good impl flagged: %s", rep)
+	}
+	bad := &tcam.Program{Spec: spec, States: []tcam.State{{
+		Entries: []tcam.Entry{{Next: tcam.AcceptTarget}}, // forgets the extraction
+	}}}
+	rep = Check(spec, bad, 0, 0, 0, 1)
+	if rep.OK() {
+		t.Fatal("broken impl not detected")
+	}
+	if !strings.Contains(rep.String(), "MISMATCH") {
+		t.Error("report text")
+	}
+}
+
+// TestAllBenchmarksSpecImplEquivalence is the §7.1 validation: every
+// compiled benchmark passes the Figure 22 simulator check on both targets.
+func TestAllBenchmarksSpecImplEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite validation")
+	}
+	profiles := []hw.Profile{
+		{Name: "tofino-scaled", Arch: hw.SingleTable, KeyLimit: 12, TCAMLimit: 24, LookaheadLimit: 24, ExtractLimit: 64},
+		{Name: "ipu-scaled", Arch: hw.Pipelined, KeyLimit: 12, TCAMLimit: 24, LookaheadLimit: 24, StageLimit: 8, ExtractLimit: 12},
+	}
+	for _, b := range benchdata.All() {
+		for _, p := range profiles {
+			opts := core.DefaultOptions()
+			opts.MaxIterations = b.MaxIterations
+			res, err := core.Compile(b.Spec, p, opts)
+			if err != nil {
+				t.Errorf("%s on %s: %v", b.Name(), p.Name, err)
+				continue
+			}
+			// Equivalence contract: a loop-capable target implements the
+			// spec outright; a pipelined target implements the bounded
+			// unrolling (deeper stacks are dropped by the device).
+			contract := b.Spec
+			if b.Spec.HasLoop() && p.Arch != hw.SingleTable {
+				depth := b.MaxIterations
+				if depth == 0 {
+					depth = 4
+				}
+				contract, err = core.Unroll(b.Spec, depth)
+				if err != nil {
+					t.Fatalf("%s: unroll: %v", b.Name(), err)
+				}
+			}
+			rep := Check(contract, res.Program, 4096, 16, 0, 99)
+			if !rep.OK() {
+				t.Errorf("%s on %s: %s", b.Name(), p.Name, rep)
+			}
+		}
+	}
+}
+
+func TestWireParserSpec(t *testing.T) {
+	spec := WireParser()
+	if spec.HasLoop() {
+		t.Error("wire parser must be loop-free")
+	}
+	if f, ok := spec.Field("ethernet.dst"); !ok || f.Width != 48 {
+		t.Errorf("ethernet.dst: %+v", f)
+	}
+}
+
+// TestBmv2StyleDelivery compiles the wire-scale parser and injects a real
+// TCP packet, checking end-to-end field extraction — the paper's
+// bmv2+Scapy test.
+func TestBmv2StyleDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-scale compile")
+	}
+	spec := WireParser()
+	res, err := core.Compile(spec, hw.Tofino(), core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("wire parser compile: %v", err)
+	}
+	target := [4]byte{192, 168, 1, 42}
+	d, err := InjectTCP(res.Program, target, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Delivered(target) {
+		t.Fatalf("packet not delivered: %+v", d)
+	}
+	if d.DstPort != 443 {
+		t.Errorf("dstPort=%d", d.DstPort)
+	}
+	if _, ok := d.Fields["udp.srcPort"]; ok {
+		t.Error("udp must not be parsed on a TCP packet")
+	}
+	// Wrong-type packet: an IPv6 etherType accepts without IPv4 fields, so
+	// it is not delivered to the IPv4 target.
+	other, err := InjectTCP(res.Program, [4]byte{1, 2, 3, 4}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Delivered(target) {
+		t.Error("packet for another IP must not count as delivered")
+	}
+}

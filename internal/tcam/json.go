@@ -1,0 +1,159 @@
+package tcam
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"parserhawk/internal/pir"
+)
+
+// The JSON form of a compiled program is the deployment artifact: the
+// field table plus every TCAM row, exactly what a device driver needs to
+// populate the parser. EncodeJSON/DecodeJSON round-trip losslessly.
+
+type jsonProgram struct {
+	Fields []jsonField `json:"fields"`
+	States []jsonState `json:"states"`
+}
+
+type jsonField struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+	Var   bool   `json:"varbit,omitempty"`
+}
+
+type jsonState struct {
+	Table   int           `json:"table"`
+	ID      int           `json:"id"`
+	Key     []jsonKeyPart `json:"key,omitempty"`
+	Entries []jsonEntry   `json:"entries"`
+}
+
+type jsonKeyPart struct {
+	Field string `json:"field,omitempty"`
+	Lo    int    `json:"lo,omitempty"`
+	Hi    int    `json:"hi,omitempty"`
+
+	Lookahead bool `json:"lookahead,omitempty"`
+	Skip      int  `json:"skip,omitempty"`
+	Width     int  `json:"width,omitempty"`
+}
+
+type jsonEntry struct {
+	Value    string        `json:"value"` // hex
+	Mask     string        `json:"mask"`  // hex
+	Extracts []jsonExtract `json:"extracts,omitempty"`
+	Next     jsonTarget    `json:"next"`
+}
+
+type jsonExtract struct {
+	Field    string `json:"field"`
+	LenField string `json:"lenField,omitempty"`
+	LenScale int    `json:"lenScale,omitempty"`
+	LenBias  int    `json:"lenBias,omitempty"`
+}
+
+type jsonTarget struct {
+	Kind  string `json:"kind"` // "state" | "accept" | "reject"
+	Table int    `json:"table,omitempty"`
+	State int    `json:"state,omitempty"`
+}
+
+// EncodeJSON serializes the program (including its field table) so it can
+// be stored, diffed, or loaded into a device driver.
+func (p *Program) EncodeJSON() ([]byte, error) {
+	out := jsonProgram{}
+	for _, f := range p.Spec.Fields {
+		out.Fields = append(out.Fields, jsonField{Name: f.Name, Width: f.Width, Var: f.Var})
+	}
+	for i := range p.States {
+		s := &p.States[i]
+		js := jsonState{Table: s.Table, ID: s.ID}
+		for _, k := range s.Key {
+			js.Key = append(js.Key, jsonKeyPart{
+				Field: k.Field, Lo: k.Lo, Hi: k.Hi,
+				Lookahead: k.Lookahead, Skip: k.Skip, Width: k.Width,
+			})
+		}
+		for _, e := range s.Entries {
+			je := jsonEntry{
+				Value: fmt.Sprintf("%#x", e.Value),
+				Mask:  fmt.Sprintf("%#x", e.Mask),
+			}
+			for _, x := range e.Extracts {
+				je.Extracts = append(je.Extracts, jsonExtract{
+					Field: x.Field, LenField: x.LenField,
+					LenScale: x.LenScale, LenBias: x.LenBias,
+				})
+			}
+			switch e.Next.Kind {
+			case Accept:
+				je.Next = jsonTarget{Kind: "accept"}
+			case Reject:
+				je.Next = jsonTarget{Kind: "reject"}
+			default:
+				je.Next = jsonTarget{Kind: "state", Table: e.Next.Table, State: e.Next.State}
+			}
+			js.Entries = append(js.Entries, je)
+		}
+		out.States = append(out.States, js)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodeJSON reconstructs a program from its EncodeJSON form.
+func DecodeJSON(data []byte) (*Program, error) {
+	var in jsonProgram
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("tcam: %w", err)
+	}
+	var fields []pir.Field
+	for _, f := range in.Fields {
+		fields = append(fields, pir.Field{Name: f.Name, Width: f.Width, Var: f.Var})
+	}
+	// The field table alone is a valid one-state spec carrier; programs
+	// deserialized this way exist to be executed, so a synthetic spec with
+	// the right fields is sufficient.
+	spec, err := pir.New("deserialized", fields, []pir.State{{Name: "start", Default: pir.AcceptTarget}})
+	if err != nil {
+		return nil, fmt.Errorf("tcam: %w", err)
+	}
+	prog := &Program{Spec: spec}
+	for _, js := range in.States {
+		st := State{Table: js.Table, ID: js.ID}
+		for _, k := range js.Key {
+			st.Key = append(st.Key, pir.KeyPart{
+				Field: k.Field, Lo: k.Lo, Hi: k.Hi,
+				Lookahead: k.Lookahead, Skip: k.Skip, Width: k.Width,
+			})
+		}
+		for _, je := range js.Entries {
+			var e Entry
+			if _, err := fmt.Sscanf(je.Value, "%v", &e.Value); err != nil {
+				return nil, fmt.Errorf("tcam: bad value %q: %w", je.Value, err)
+			}
+			if _, err := fmt.Sscanf(je.Mask, "%v", &e.Mask); err != nil {
+				return nil, fmt.Errorf("tcam: bad mask %q: %w", je.Mask, err)
+			}
+			for _, x := range je.Extracts {
+				e.Extracts = append(e.Extracts, pir.Extract{
+					Field: x.Field, LenField: x.LenField,
+					LenScale: x.LenScale, LenBias: x.LenBias,
+				})
+			}
+			switch je.Next.Kind {
+			case "accept":
+				e.Next = AcceptTarget
+			case "reject":
+				e.Next = RejectTarget
+			case "state":
+				e.Next = To(je.Next.Table, je.Next.State)
+			default:
+				return nil, fmt.Errorf("tcam: bad target kind %q", je.Next.Kind)
+			}
+			st.Entries = append(st.Entries, e)
+		}
+		prog.States = append(prog.States, st)
+	}
+	return prog, nil
+}

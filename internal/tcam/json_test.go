@@ -1,0 +1,86 @@
+package tcam
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/pir"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	prog, spec := table1Program(t)
+	data, err := prog.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"fields"`, `"states"`, `"accept"`, `"0x1"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoded JSON missing %s:\n%s", want, data)
+		}
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deserialized program must behave identically.
+	for v := 0; v < 256; v++ {
+		in := bitstream.FromUint(uint64(v), 8)
+		got := back.Run(in, 0)
+		want := spec.Run(in, 0)
+		if !got.Same(want) {
+			t.Fatalf("input %08b: decoded program diverges: %v vs %v", v, got.Dict, want.Dict)
+		}
+	}
+	// Resource accounting survives too.
+	if back.Resources().Entries != prog.Resources().Entries {
+		t.Error("entry count changed across serialization")
+	}
+}
+
+func TestJSONRoundTripVarbit(t *testing.T) {
+	spec := pir.MustNew("vb",
+		[]pir.Field{{Name: "h.len", Width: 2}, {Name: "h.opts", Width: 12, Var: true}},
+		[]pir.State{{
+			Name: "S",
+			Extracts: []pir.Extract{
+				{Field: "h.len"},
+				{Field: "h.opts", LenField: "h.len", LenScale: 4},
+			},
+			Default: pir.AcceptTarget,
+		}})
+	prog := &Program{Spec: spec, States: []State{{
+		Entries: []Entry{{
+			Extracts: []pir.Extract{
+				{Field: "h.len"},
+				{Field: "h.opts", LenField: "h.len", LenScale: 4},
+			},
+			Next: AcceptTarget,
+		}},
+	}}}
+	data, err := prog.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := bitstream.MustFromString("10_1111_0000_10")
+	got := back.Run(in, 0)
+	if len(got.Dict["h.opts"]) != 8 {
+		t.Errorf("varbit semantics lost: %v", got.Dict)
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	if _, err := DecodeJSON([]byte(`{"states":[{"entries":[{"value":"zz","mask":"0x0","next":{"kind":"accept"}}]}]}`)); err == nil {
+		t.Error("bad hex must error")
+	}
+	if _, err := DecodeJSON([]byte(`{"states":[{"entries":[{"value":"0x0","mask":"0x0","next":{"kind":"sideways"}}]}]}`)); err == nil {
+		t.Error("bad target kind must error")
+	}
+}

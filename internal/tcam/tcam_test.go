@@ -1,0 +1,225 @@
+package tcam
+
+import (
+	"strings"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/pir"
+)
+
+// table1Program hand-builds Impl2 from Table 1 of the paper: extract
+// field0 unconditionally, then extract field1 only when field0[0]==0.
+func table1Program(t *testing.T) (*Program, *pir.Spec) {
+	t.Helper()
+	spec := pir.MustNew("spec2",
+		[]pir.Field{{Name: "field0", Width: 4}, {Name: "field1", Width: 4}},
+		[]pir.State{
+			{
+				Name:     "State0",
+				Extracts: []pir.Extract{{Field: "field0"}},
+				Key:      []pir.KeyPart{pir.FieldSlice("field0", 0, 1)},
+				Rules:    []pir.Rule{pir.ExactRule(0, 1, pir.To(1))},
+				Default:  pir.AcceptTarget,
+			},
+			{Name: "State1", Extracts: []pir.Extract{{Field: "field1"}}, Default: pir.AcceptTarget},
+		})
+	prog := &Program{
+		Spec: spec,
+		States: []State{
+			{
+				Table: 0, ID: 0,
+				Entries: []Entry{{
+					Value: 0, Mask: 0, // Condition: True
+					Extracts: []pir.Extract{{Field: "field0"}},
+					Next:     To(0, 1),
+				}},
+			},
+			{
+				Table: 0, ID: 1,
+				Key: []pir.KeyPart{pir.FieldSlice("field0", 0, 1)},
+				Entries: []Entry{
+					{Value: 0, Mask: 1, Extracts: []pir.Extract{{Field: "field1"}}, Next: AcceptTarget},
+					{Value: 1, Mask: 1, Next: AcceptTarget},
+				},
+			},
+		},
+	}
+	return prog, spec
+}
+
+func TestTable1ImplMatchesSpecExhaustively(t *testing.T) {
+	prog, spec := table1Program(t)
+	for v := 0; v < 256; v++ {
+		in := bitstream.FromUint(uint64(v), 8)
+		got := prog.Run(in, 0)
+		want := spec.Run(in, 0)
+		if !got.Same(want) {
+			t.Fatalf("input %08b: impl=%v/%v spec=%v/%v diff=%s",
+				v, got.Accepted, got.Dict, want.Accepted, want.Dict, want.Dict.Diff(got.Dict))
+		}
+	}
+}
+
+func TestEntryPriority(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "f", Width: 2}},
+		[]pir.State{{Name: "S", Extracts: []pir.Extract{{Field: "f"}}, Default: pir.AcceptTarget}})
+	prog := &Program{
+		Spec: spec,
+		States: []State{{
+			Table: 0, ID: 0,
+			Key: []pir.KeyPart{pir.LookaheadBits(0, 2)},
+			Entries: []Entry{
+				{Value: 0b10, Mask: 0b10, Next: RejectTarget}, // 1* first
+				{Value: 0b11, Mask: 0b11, Extracts: []pir.Extract{{Field: "f"}}, Next: AcceptTarget},
+				{Value: 0, Mask: 0, Extracts: []pir.Extract{{Field: "f"}}, Next: AcceptTarget},
+			},
+		}},
+	}
+	if r := prog.Run(bitstream.MustFromString("11"), 0); !r.Rejected {
+		t.Error("priority: 11 must hit the first (masked) entry and reject")
+	}
+	if r := prog.Run(bitstream.MustFromString("01"), 0); !r.Accepted || len(r.Dict) != 1 {
+		t.Errorf("01 must accept via wildcard: %+v", r)
+	}
+}
+
+func TestNoMatchingEntryRejects(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "f", Width: 1}},
+		[]pir.State{{Name: "S", Default: pir.AcceptTarget}})
+	prog := &Program{
+		Spec: spec,
+		States: []State{{
+			Table: 0, ID: 0,
+			Key:     []pir.KeyPart{pir.LookaheadBits(0, 1)},
+			Entries: []Entry{{Value: 1, Mask: 1, Next: AcceptTarget}},
+		}},
+	}
+	if r := prog.Run(bitstream.MustFromString("0"), 0); !r.Rejected {
+		t.Error("no-match must reject")
+	}
+	if r := prog.Run(bitstream.MustFromString("1"), 0); !r.Accepted {
+		t.Error("match must accept")
+	}
+}
+
+func TestMissingStateRejects(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "f", Width: 1}},
+		[]pir.State{{Name: "S", Default: pir.AcceptTarget}})
+	prog := &Program{Spec: spec, States: []State{{
+		Table: 0, ID: 0,
+		Entries: []Entry{{Value: 0, Mask: 0, Next: To(0, 9)}},
+	}}}
+	if r := prog.Run(bitstream.MustFromString("0"), 0); !r.Rejected {
+		t.Error("transition to a missing state must reject")
+	}
+}
+
+func TestLoopProgramAndIterationBudget(t *testing.T) {
+	// Single entry advancing over one 4-bit label while its MSB-ahead bit
+	// is 0 — the paper's MPLS single-entry loop (§3.1).
+	spec := pir.MustNew("mpls", []pir.Field{{Name: "label", Width: 4}},
+		[]pir.State{{
+			Name:     "L",
+			Extracts: []pir.Extract{{Field: "label"}},
+			Key:      []pir.KeyPart{pir.FieldSlice("label", 3, 4)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 1, pir.To(0))},
+			Default:  pir.AcceptTarget,
+		}})
+	prog := &Program{Spec: spec, States: []State{{
+		Table: 0, ID: 0,
+		Key: []pir.KeyPart{pir.LookaheadBits(3, 1)}, // bottom-of-stack bit of the label under the cursor
+		Entries: []Entry{
+			{Value: 0, Mask: 1, Extracts: []pir.Extract{{Field: "label"}}, Next: To(0, 0)},
+			{Value: 1, Mask: 1, Extracts: []pir.Extract{{Field: "label"}}, Next: AcceptTarget},
+		},
+	}}}
+	for v := 0; v < 1<<12; v++ {
+		in := bitstream.FromUint(uint64(v), 12)
+		got := prog.Run(in, 0)
+		want := spec.Run(in, 0)
+		if !got.Same(want) {
+			t.Fatalf("input %012b: impl != spec (%v vs %v)", v, got, want)
+		}
+	}
+	// Budget exhaustion rejects.
+	if r := prog.Run(make(bitstream.Bits, 64), 3); !r.Rejected {
+		t.Error("iteration budget must reject endless stacks")
+	}
+}
+
+func TestVarbitExtractionInImpl(t *testing.T) {
+	spec := pir.MustNew("vb",
+		[]pir.Field{{Name: "len", Width: 2}, {Name: "opts", Width: 12, Var: true}},
+		[]pir.State{{
+			Name: "S",
+			Extracts: []pir.Extract{
+				{Field: "len"},
+				{Field: "opts", LenField: "len", LenScale: 4},
+			},
+			Default: pir.AcceptTarget,
+		}})
+	prog := &Program{Spec: spec, States: []State{{
+		Table: 0, ID: 0,
+		Entries: []Entry{{
+			Value: 0, Mask: 0,
+			Extracts: []pir.Extract{
+				{Field: "len"},
+				{Field: "opts", LenField: "len", LenScale: 4},
+			},
+			Next: AcceptTarget,
+		}},
+	}}}
+	in := bitstream.MustFromString("10_1111_0000_10")
+	got := prog.Run(in, 0)
+	want := spec.Run(in, 0)
+	if !got.Same(want) {
+		t.Fatalf("varbit impl mismatch: %v vs %v", got.Dict, want.Dict)
+	}
+	if len(got.Dict["opts"]) != 8 {
+		t.Errorf("opts width=%d", len(got.Dict["opts"]))
+	}
+}
+
+func TestResources(t *testing.T) {
+	prog, _ := table1Program(t)
+	r := prog.Resources()
+	if r.Entries != 3 {
+		t.Errorf("entries=%d want 3", r.Entries)
+	}
+	if r.Stages != 1 {
+		t.Errorf("stages=%d want 1", r.Stages)
+	}
+	if r.MaxKeyWidth != 1 {
+		t.Errorf("maxKeyWidth=%d want 1", r.MaxKeyWidth)
+	}
+	if r.States != 2 {
+		t.Errorf("states=%d", r.States)
+	}
+}
+
+func TestMultiTableResourcesAndLookup(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "f", Width: 1}},
+		[]pir.State{{Name: "S", Default: pir.AcceptTarget}})
+	prog := &Program{Spec: spec, States: []State{
+		{Table: 0, ID: 0, Entries: []Entry{{Next: To(1, 0)}}},
+		{Table: 1, ID: 0, Entries: []Entry{{Next: AcceptTarget}, {Next: RejectTarget}}},
+	}}
+	r := prog.Resources()
+	if r.Stages != 2 || r.Entries != 3 || r.MaxEntries != 2 {
+		t.Errorf("resources=%+v", r)
+	}
+	if prog.Lookup(1, 0) == nil || prog.Lookup(2, 0) != nil {
+		t.Error("Lookup misbehaved")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	prog, _ := table1Program(t)
+	s := prog.String()
+	for _, want := range []string{"TID:0 SID:0", "TID:0 SID:1", "accept", "extract{field1}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package vendorc models the commercial baseline compilers of §7: the
+// open-sourced Tofino compiler back end and the closed-source Intel IPU
+// compiler. Both translate the WRITTEN form of the parser program directly
+// into TCAM entries — one entry per written transition rule plus one for
+// the default — applying only the local heuristics the paper credits them
+// with. In particular (per §7.2) they CANNOT:
+//
+//   - perform R4-like rewrites (splitting a transition key wider than the
+//     hardware limit), so wide keys are rejected ("Wide tran key");
+//   - rule out redundant (R1) or never-reached (R2) entries, so mutated
+//     programs consume extra entries or stages and may push the program
+//     past device limits ("Too many TCAM" / "Too many stages");
+//   - unroll parser loops (IPU), so loopy programs are rejected
+//     ("Parser loop rej"); and
+//   - merge written states, so the pure-extraction chain keeps one stage
+//     per written state.
+//
+// Like the real compilers, the output is nonetheless semantically correct
+// whenever compilation succeeds.
+package vendorc
+
+import (
+	"errors"
+	"fmt"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+// Failure reasons, matching the red cells of Table 3.
+var (
+	ErrWideKey      = errors.New("vendorc: wide tran key")
+	ErrTooManyTCAM  = errors.New("vendorc: too many TCAM entries")
+	ErrTooManyStage = errors.New("vendorc: too many stages")
+	ErrParserLoop   = errors.New("vendorc: parser loop rejected")
+	ErrConflict     = errors.New("vendorc: conflict transition")
+	ErrCrossKey     = errors.New("vendorc: cross-state key positions not resolvable")
+)
+
+// Result is a vendor compilation outcome.
+type Result struct {
+	Program *tcam.Program
+	Entries int
+	Stages  int
+}
+
+// CompileTofino models the Tofino back end: single TCAM table, loops
+// allowed, one entry per written rule.
+func CompileTofino(spec *pir.Spec, profile hw.Profile) (*Result, error) {
+	prog, err := literalTranslate(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := prog.Resources()
+	if res.MaxKeyWidth > profile.KeyLimit {
+		return nil, fmt.Errorf("%w: %d bits > %d", ErrWideKey, res.MaxKeyWidth, profile.KeyLimit)
+	}
+	if res.Entries > profile.TCAMLimit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyTCAM, res.Entries, profile.TCAMLimit)
+	}
+	return &Result{Program: prog, Entries: res.Entries, Stages: 1}, nil
+}
+
+// CompileIPU models the Intel IPU compiler: pipelined stages assigned by
+// written-form depth, no loops, no written-state merging. A state whose
+// written entries exceed the per-stage TCAM limit overflows into
+// additional stages (the "Parse Ethernet + R1 uses 2 stages" effect).
+func CompileIPU(spec *pir.Spec, profile hw.Profile) (*Result, error) {
+	if spec.HasLoop() {
+		return nil, ErrParserLoop
+	}
+	prog, err := literalTranslate(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := prog.Resources()
+	if res.MaxKeyWidth > profile.KeyLimit {
+		return nil, fmt.Errorf("%w: %d bits > %d", ErrWideKey, res.MaxKeyWidth, profile.KeyLimit)
+	}
+	// Detect R2-style conflicts: two written rules with identical patterns
+	// but different targets in one state. The real compiler's table fitter
+	// reports a conflict instead of applying first-match priority analysis.
+	for i := range spec.States {
+		st := &spec.States[i]
+		for a := 0; a < len(st.Rules); a++ {
+			for b := a + 1; b < len(st.Rules); b++ {
+				ra, rb := st.Rules[a], st.Rules[b]
+				if ra.Value&ra.Mask == rb.Value&rb.Mask && ra.Mask == rb.Mask && ra.Next != rb.Next {
+					return nil, fmt.Errorf("%w: state %q", ErrConflict, st.Name)
+				}
+			}
+		}
+	}
+
+	// Stage assignment: depth of the written state graph, one written
+	// state per stage slot. A state whose written entries exceed the
+	// per-stage TCAM budget occupies an additional stage (the compiler
+	// spills the overflowing entries forward rather than merging).
+	depth, maxD, err := writtenDepths(spec)
+	if err != nil {
+		return nil, err
+	}
+	stages := maxD + 1
+	for i := range prog.States {
+		if len(prog.States[i].Entries) > profile.TCAMLimit {
+			stages++
+		}
+	}
+	if stages > profile.StageLimit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyStage, stages, profile.StageLimit)
+	}
+	// Materialize stage numbers on the program. Overflow is modeled by
+	// pushing every deeper state one stage further.
+	bump := make([]int, len(prog.States))
+	cum := 0
+	for d := 0; d <= maxD; d++ {
+		for i := range prog.States {
+			if depth[i] != d {
+				continue
+			}
+			bump[i] = cum
+			if len(prog.States[i].Entries) > profile.TCAMLimit {
+				cum++
+			}
+		}
+	}
+	remap := map[int]tcam.Target{}
+	for i := range prog.States {
+		remap[prog.States[i].ID] = tcam.To(depth[i]+bump[i], prog.States[i].ID)
+	}
+	for i := range prog.States {
+		prog.States[i].Table = depth[i] + bump[i]
+		for ei := range prog.States[i].Entries {
+			n := prog.States[i].Entries[ei].Next
+			if n.Kind == tcam.ToState {
+				prog.States[i].Entries[ei].Next = remap[n.State]
+			}
+		}
+	}
+	res = prog.Resources()
+	return &Result{Program: prog, Entries: res.Entries, Stages: stages}, nil
+}
+
+// writtenDepths computes each written state's depth from the start state.
+func writtenDepths(spec *pir.Spec) ([]int, int, error) {
+	depth := make([]int, len(spec.States))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	queue := []int{0}
+	maxD := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		st := &spec.States[i]
+		push := func(t pir.Target) {
+			if t.Kind != pir.ToState {
+				return
+			}
+			if d := depth[i] + 1; d > depth[t.State] {
+				depth[t.State] = d
+				if d > maxD {
+					maxD = d
+				}
+				if d > len(spec.States) {
+					return // cycle guard; HasLoop should have caught it
+				}
+				queue = append(queue, t.State)
+			}
+		}
+		for _, r := range st.Rules {
+			push(r.Next)
+		}
+		push(st.Default)
+	}
+	for i := range depth {
+		if depth[i] < 0 {
+			depth[i] = maxD // written but unreachable states still occupy a stage slot
+		}
+	}
+	return depth, maxD, nil
+}
+
+// literalTranslate converts each written spec state into one TCAM state
+// with one entry per written rule plus a default entry — no merging, no
+// redundancy elimination, no reachability pruning.
+func literalTranslate(spec *pir.Spec) (*tcam.Program, error) {
+	back, err := backOffsets(spec)
+	if err != nil {
+		return nil, err
+	}
+	prog := &tcam.Program{Spec: spec}
+	for si := range spec.States {
+		st := &spec.States[si]
+		lay, w, vbAt := offsets(spec, st)
+		var key []pir.KeyPart
+		for _, p := range st.Key {
+			switch {
+			case p.Lookahead:
+				if vbAt >= 0 {
+					return nil, fmt.Errorf("%w: state %q", ErrCrossKey, st.Name)
+				}
+				key = append(key, pir.LookaheadBits(w+p.Skip, p.Width))
+			default:
+				if off, ok := lay[p.Field]; ok {
+					key = append(key, pir.LookaheadBits(off+p.Lo, p.Hi-p.Lo))
+				} else if d, ok := back[si][p.Field]; ok && d >= 0 {
+					key = append(key, p) // container match
+					_ = d
+				} else {
+					return nil, fmt.Errorf("%w: state %q keys on %q", ErrCrossKey, st.Name, p.Field)
+				}
+			}
+		}
+		out := tcam.State{Table: 0, ID: si, Key: key}
+		target := func(t pir.Target) tcam.Target {
+			switch t.Kind {
+			case pir.Accept:
+				return tcam.AcceptTarget
+			case pir.Reject:
+				return tcam.RejectTarget
+			default:
+				return tcam.To(0, t.State)
+			}
+		}
+		kw := st.KeyWidth()
+		for _, r := range st.Rules {
+			out.Entries = append(out.Entries, tcam.Entry{
+				Value:    r.Value & widthMask(kw),
+				Mask:     r.Mask & widthMask(kw),
+				Extracts: append([]pir.Extract(nil), st.Extracts...),
+				Next:     target(r.Next),
+			})
+		}
+		out.Entries = append(out.Entries, tcam.Entry{
+			Value: 0, Mask: 0,
+			Extracts: append([]pir.Extract(nil), st.Extracts...),
+			Next:     target(st.Default),
+		})
+		prog.States = append(prog.States, out)
+	}
+	return prog, nil
+}
+
+// offsets returns field offsets within a state's extraction, the static
+// width, and the varbit offset (-1 when absent).
+func offsets(spec *pir.Spec, st *pir.State) (map[string]int, int, int) {
+	off := map[string]int{}
+	w := 0
+	vbAt := -1
+	for _, e := range st.Extracts {
+		f, _ := spec.Field(e.Field)
+		off[e.Field] = w
+		if f.Var {
+			vbAt = w
+			continue
+		}
+		w += f.Width
+	}
+	return off, w, vbAt
+}
+
+// backOffsets computes cross-state field back-distances, like the core
+// compiler's analysis but without its varbit restrictions (the vendor
+// compilers match extracted fields from containers, which always works).
+func backOffsets(spec *pir.Spec) ([]map[string]int, error) {
+	out := make([]map[string]int, len(spec.States))
+	for i := range out {
+		out[i] = map[string]int{}
+	}
+	// Record which fields are extracted on every path to each state.
+	reach := make([]map[string]bool, len(spec.States))
+	reach[0] = map[string]bool{}
+	work := []int{0}
+	for len(work) > 0 {
+		si := work[0]
+		work = work[1:]
+		st := &spec.States[si]
+		after := map[string]bool{}
+		for f := range reach[si] {
+			after[f] = true
+		}
+		for _, e := range st.Extracts {
+			after[e.Field] = true
+		}
+		push := func(t pir.Target) {
+			if t.Kind != pir.ToState {
+				return
+			}
+			if reach[t.State] == nil {
+				m := map[string]bool{}
+				for f := range after {
+					m[f] = true
+				}
+				reach[t.State] = m
+				work = append(work, t.State)
+				return
+			}
+			// Intersect.
+			changed := false
+			for f := range reach[t.State] {
+				if !after[f] {
+					delete(reach[t.State], f)
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, t.State)
+			}
+		}
+		for _, r := range st.Rules {
+			push(r.Next)
+		}
+		push(st.Default)
+	}
+	for si := range spec.States {
+		for f := range reachOrEmpty(reach, si) {
+			out[si][f] = 0 // distance unused; containers hold the value
+		}
+	}
+	return out, nil
+}
+
+func reachOrEmpty(reach []map[string]bool, i int) map[string]bool {
+	if reach[i] == nil {
+		return map[string]bool{}
+	}
+	return reach[i]
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

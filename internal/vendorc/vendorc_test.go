@@ -1,0 +1,168 @@
+package vendorc
+
+import (
+	"errors"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+func ethLike(t *testing.T) *pir.Spec {
+	t.Helper()
+	return pir.MustNew("eth",
+		[]pir.Field{{Name: "type", Width: 4}, {Name: "v4", Width: 2}, {Name: "v6", Width: 2}},
+		[]pir.State{
+			{
+				Name:     "start",
+				Extracts: []pir.Extract{{Field: "type"}},
+				Key:      []pir.KeyPart{pir.WholeField("type", 4)},
+				Rules: []pir.Rule{
+					pir.ExactRule(4, 4, pir.To(1)),
+					pir.ExactRule(6, 4, pir.To(2)),
+				},
+				Default: pir.AcceptTarget,
+			},
+			{Name: "v4s", Extracts: []pir.Extract{{Field: "v4"}}, Default: pir.AcceptTarget},
+			{Name: "v6s", Extracts: []pir.Extract{{Field: "v6"}}, Default: pir.AcceptTarget},
+		})
+}
+
+func checkSemantics(t *testing.T, spec *pir.Spec, prog interface {
+	Run(bitstream.Bits, int) pir.Result
+}, bits int) {
+	t.Helper()
+	for v := uint64(0); v < 1<<uint(bits); v++ {
+		in := bitstream.FromUint(v, bits)
+		got := prog.Run(in, 0)
+		want := spec.Run(in, 0)
+		if !got.Same(want) {
+			t.Fatalf("input %0*b: impl %v/%v vs spec %v/%v", bits, v,
+				got.Accepted, got.Dict, want.Accepted, want.Dict)
+		}
+	}
+}
+
+func TestTofinoLiteralTranslation(t *testing.T) {
+	spec := ethLike(t)
+	r, err := CompileTofino(spec, hw.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSemantics(t, spec, r.Program, 6)
+	// Written form: 2 rules + default in start, 1 default in each leaf.
+	if r.Entries != 5 {
+		t.Errorf("entries=%d want 5 (literal translation)", r.Entries)
+	}
+}
+
+func TestTofinoKeepsRedundantEntries(t *testing.T) {
+	spec := ethLike(t)
+	// R1: duplicate a rule. Literal translation pays one entry for it.
+	spec.States[0].Rules = append(spec.States[0].Rules, pir.ExactRule(4, 4, pir.To(1)))
+	r, err := CompileTofino(spec, hw.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entries != 6 {
+		t.Errorf("entries=%d want 6 (redundant entry retained)", r.Entries)
+	}
+	checkSemantics(t, spec, r.Program, 6)
+}
+
+func TestTofinoRejectsWideKey(t *testing.T) {
+	spec := ethLike(t)
+	p := hw.Tofino()
+	p.KeyLimit = 2
+	if _, err := CompileTofino(spec, p); !errors.Is(err, ErrWideKey) {
+		t.Errorf("want wide-key rejection, got %v", err)
+	}
+}
+
+func TestTofinoRejectsOverBudget(t *testing.T) {
+	spec := ethLike(t)
+	p := hw.Tofino()
+	p.TCAMLimit = 3
+	if _, err := CompileTofino(spec, p); !errors.Is(err, ErrTooManyTCAM) {
+		t.Errorf("want entry rejection, got %v", err)
+	}
+}
+
+func TestIPUStagesFollowWrittenDepth(t *testing.T) {
+	spec := ethLike(t)
+	r, err := CompileIPU(spec, hw.IPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stages != 2 {
+		t.Errorf("stages=%d want 2 (written depth)", r.Stages)
+	}
+	checkSemantics(t, spec, r.Program, 6)
+}
+
+func TestIPUOverflowAddsStage(t *testing.T) {
+	spec := ethLike(t)
+	p := hw.IPU()
+	p.TCAMLimit = 2 // start state has 3 written entries -> overflow
+	r, err := CompileIPU(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stages != 3 {
+		t.Errorf("stages=%d want 3 (overflow stage)", r.Stages)
+	}
+}
+
+func TestIPURejectsLoop(t *testing.T) {
+	loop := pir.MustNew("mpls", []pir.Field{{Name: "l", Width: 4}},
+		[]pir.State{{
+			Name:     "L",
+			Extracts: []pir.Extract{{Field: "l"}},
+			Key:      []pir.KeyPart{pir.FieldSlice("l", 3, 4)},
+			Rules:    []pir.Rule{pir.ExactRule(0, 1, pir.To(0))},
+			Default:  pir.AcceptTarget,
+		}})
+	if _, err := CompileIPU(loop, hw.IPU()); !errors.Is(err, ErrParserLoop) {
+		t.Errorf("want loop rejection, got %v", err)
+	}
+}
+
+func TestIPUConflictTransition(t *testing.T) {
+	spec := ethLike(t)
+	// R2-ish mutation: identical pattern, different target (dead by
+	// priority, but the table fitter reports a conflict).
+	spec.States[0].Rules = append(spec.States[0].Rules, pir.ExactRule(4, 4, pir.To(2)))
+	if _, err := CompileIPU(spec, hw.IPU()); !errors.Is(err, ErrConflict) {
+		t.Errorf("want conflict rejection, got %v", err)
+	}
+}
+
+func TestIPURejectsTooManyStages(t *testing.T) {
+	spec := ethLike(t)
+	p := hw.IPU()
+	p.StageLimit = 1
+	if _, err := CompileIPU(spec, p); !errors.Is(err, ErrTooManyStage) {
+		t.Errorf("want stage rejection, got %v", err)
+	}
+}
+
+func TestCrossStateContainerKey(t *testing.T) {
+	spec := pir.MustNew("cross",
+		[]pir.Field{{Name: "x", Width: 2}, {Name: "y", Width: 2}},
+		[]pir.State{
+			{Name: "A", Extracts: []pir.Extract{{Field: "x"}}, Default: pir.To(1)},
+			{
+				Name:     "B",
+				Extracts: []pir.Extract{{Field: "y"}},
+				Key:      []pir.KeyPart{pir.WholeField("x", 2)},
+				Rules:    []pir.Rule{pir.ExactRule(3, 2, pir.RejectTarget)},
+				Default:  pir.AcceptTarget,
+			},
+		})
+	r, err := CompileTofino(spec, hw.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSemantics(t, spec, r.Program, 4)
+}

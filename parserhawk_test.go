@@ -1,0 +1,155 @@
+package parserhawk_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parserhawk"
+)
+
+const quickSource = `
+header eth  { bit<4> etherType; }
+header ipv4 { bit<4> ttl; }
+parser Quick {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+}
+`
+
+func TestCompileSourceEndToEnd(t *testing.T) {
+	res, err := parserhawk.CompileSource(quickSource, parserhawk.Tofino(), parserhawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resources.Entries == 0 {
+		t.Fatal("no entries")
+	}
+	spec, _ := parserhawk.ParseSpec(quickSource)
+	rep := parserhawk.Verify(spec, res.Program, 0)
+	if !rep.OK() {
+		t.Fatalf("verification failed: %s", rep)
+	}
+	// Parse a concrete "packet": etherType 4, ttl 9.
+	out := res.Program.Run(parserhawk.Uint(0x49, 8), 0)
+	if !out.Accepted {
+		t.Fatal("packet rejected")
+	}
+	if got := out.Dict["ipv4.ttl"].Uint(0, 4); got != 9 {
+		t.Errorf("ttl=%d", got)
+	}
+}
+
+func TestCompileFileAndParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quick.p4")
+	if err := os.WriteFile(path, []byte(quickSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parserhawk.CompileFile(path, parserhawk.IPU(), parserhawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resources.Stages < 1 {
+		t.Error("no stages")
+	}
+	if _, err := parserhawk.CompileFile(filepath.Join(dir, "missing.p4"),
+		parserhawk.Tofino(), parserhawk.DefaultOptions()); err == nil {
+		t.Error("missing file must error")
+	}
+	if _, err := parserhawk.CompileSource("garbage", parserhawk.Tofino(),
+		parserhawk.DefaultOptions()); err == nil {
+		t.Error("bad source must error")
+	}
+}
+
+func TestCustomProfileKeySplitting(t *testing.T) {
+	src := `
+header h { bit<8> k; }
+parser P {
+    state start {
+        extract(h);
+        transition select(h.k) {
+            0xA5    : hit;
+            default : accept;
+        }
+    }
+    state hit { transition reject; }
+}
+`
+	res, err := parserhawk.CompileSource(src, parserhawk.Custom(4, 8, 16), parserhawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resources.MaxKeyWidth > 4 {
+		t.Errorf("key width %d exceeds custom device limit 4", res.Resources.MaxKeyWidth)
+	}
+	spec, _ := parserhawk.ParseSpec(src)
+	if rep := parserhawk.Verify(spec, res.Program, 0); !rep.OK() {
+		t.Fatalf("split program wrong: %s", rep)
+	}
+}
+
+func TestBitsOfRoundTrip(t *testing.T) {
+	b := parserhawk.BitsOf([]byte{0xDE, 0xAD})
+	if b.Uint(0, 16) != 0xDEAD {
+		t.Error("BitsOf wrong")
+	}
+}
+
+func TestUnrollExported(t *testing.T) {
+	src := `
+header mpls { bit<3> label; bit<1> bos; }
+parser P {
+    state start {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : start;
+            default : accept;
+        }
+    }
+}
+`
+	spec, err := parserhawk.ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := parserhawk.Unroll(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.HasLoop() {
+		t.Error("unrolled spec must be loop-free")
+	}
+	if len(un.States) != 3*len(spec.States) {
+		t.Errorf("states=%d", len(un.States))
+	}
+}
+
+func TestProgramRendering(t *testing.T) {
+	res, err := parserhawk.CompileSource(quickSource, parserhawk.Tofino(), parserhawk.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Program.String(); !strings.Contains(s, "TID:0 SID:0") {
+		t.Errorf("program rendering:\n%s", s)
+	}
+}
+
+func TestNaiveOptionsStillCorrect(t *testing.T) {
+	res, err := parserhawk.CompileSource(quickSource, parserhawk.Tofino(), parserhawk.NaiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := parserhawk.ParseSpec(quickSource)
+	if rep := parserhawk.Verify(spec, res.Program, 0); !rep.OK() {
+		t.Fatalf("naive mode produced a wrong program: %s", rep)
+	}
+}
