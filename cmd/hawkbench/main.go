@@ -12,6 +12,7 @@
 //	hawkbench -summary                  # §7 headline statistics
 //	hawkbench -all                      # everything (with -orig if set)
 //	hawkbench -retarget                 # §7.3 cross-device compilation demo
+//	hawkbench -table 3 -stats runs.json # per-run solver statistics as JSON
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		filter      = flag.String("filter", "", "restrict Table 3 to benchmarks containing this substring")
 		optTimeout  = flag.Duration("timeout", 2*time.Minute, "per-compilation budget for the optimized mode")
 		origTimeout = flag.Duration("orig-timeout", 10*time.Second, "per-compilation budget for the naive mode")
+		statsOut    = flag.String("stats", "", "write per-run solver statistics as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,10 @@ func main() {
 		OrigTimeout: *origTimeout,
 		RunOrig:     *runOrig,
 		Filter:      *filter,
+	}
+	var runs []tables.RunStats
+	if *statsOut != "" {
+		cfg.StatsSink = func(r tables.RunStats) { runs = append(runs, r) }
 	}
 
 	did := false
@@ -103,6 +109,19 @@ func main() {
 	if !did {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *statsOut != "" {
+		data, err := tables.EncodeRunStats(runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *statsOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*statsOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

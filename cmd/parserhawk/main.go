@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "run the spec-vs-implementation equivalence check")
 		quiet     = flag.Bool("q", false, "print only the TCAM program")
 		emitJSON  = flag.Bool("json", false, "emit the compiled program as deployment JSON")
+		stats     = flag.Bool("stats", false, "emit solver-level synthesis statistics as JSON")
 		emitP4    = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
 	)
 	flag.Parse()
@@ -95,7 +97,18 @@ func main() {
 	} else {
 		fmt.Print(res.Program)
 	}
+	emitStats := func() {
+		data, err := json.MarshalIndent(res.Stats, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", data)
+	}
 	if *quiet {
+		if *stats {
+			emitStats()
+		}
 		return
 	}
 	fmt.Printf("\ntarget:            %s (%s)\n", profile.Name, profile.Arch)
@@ -104,7 +117,13 @@ func main() {
 	fmt.Printf("max key width:     %d bits\n", res.Resources.MaxKeyWidth)
 	fmt.Printf("search space:      %d bits (naive encoding)\n", res.Stats.SearchSpaceBits)
 	fmt.Printf("CEGIS iterations:  %d over %d examples\n", res.Stats.CEGISIterations, res.Stats.TestCases)
+	fmt.Printf("solver effort:     %d solves, %d decisions, %d conflicts, %d propagations\n",
+		res.Stats.Solver.Solves, res.Stats.Solver.Decisions, res.Stats.Solver.Conflicts, res.Stats.Solver.Propagations)
 	fmt.Printf("compile time:      %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *stats {
+		emitStats()
+	}
 
 	if *verify {
 		rep := parserhawk.Verify(spec, res.Program, 0)

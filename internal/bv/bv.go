@@ -37,6 +37,22 @@ type Solver struct {
 	andCache map[[2]Lit]Lit
 	orCache  map[[2]Lit]Lit
 	xorCache map[[2]Lit]Lit
+
+	gates int64 // Tseitin gates actually allocated (cache misses)
+}
+
+// Metrics combines the underlying CDCL counters with the bit-blasting
+// layer's own: how many Tseitin gates the encoder materialized (constant
+// folding and the structural caches make this far smaller than the number
+// of formula-construction calls).
+type Metrics struct {
+	sat.Metrics
+	Gates int64 `json:"gates"`
+}
+
+// Metrics snapshots the solver's cumulative counters.
+func (s *Solver) Metrics() Metrics {
+	return Metrics{Metrics: s.SAT.Metrics(), Gates: s.gates}
 }
 
 // New returns a fresh solver with its constant-true literal asserted.
@@ -127,6 +143,7 @@ func (s *Solver) And(a, b Lit) Lit {
 		return g
 	}
 	g := s.NewLit()
+	s.gates++
 	s.SAT.AddClause(g.Not(), a)
 	s.SAT.AddClause(g.Not(), b)
 	s.SAT.AddClause(g, a.Not(), b.Not())
@@ -162,6 +179,7 @@ func (s *Solver) Xor(a, b Lit) Lit {
 		return g
 	}
 	g := s.NewLit()
+	s.gates++
 	s.SAT.AddClause(g.Not(), a, b)
 	s.SAT.AddClause(g.Not(), a.Not(), b.Not())
 	s.SAT.AddClause(g, a.Not(), b)

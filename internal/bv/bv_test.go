@@ -26,6 +26,31 @@ func TestConstAndSolve(t *testing.T) {
 	}
 }
 
+func TestMetricsCountGatesAndClauses(t *testing.T) {
+	s := New()
+	a, b := s.NewLit(), s.NewLit()
+	g := s.And(a, b)
+	if got := s.Metrics().Gates; got != 1 {
+		t.Fatalf("gates=%d want 1", got)
+	}
+	// Cache hits and constant folding must not allocate new gates.
+	if s.And(a, b) != g {
+		t.Fatal("and cache broken")
+	}
+	s.And(a, s.True())
+	if got := s.Metrics().Gates; got != 1 {
+		t.Fatalf("gates=%d after cache hit + fold, want 1", got)
+	}
+	s.Assert(g)
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat?")
+	}
+	m := s.Metrics()
+	if m.Clauses == 0 || m.Vars == 0 || m.Propagations == 0 {
+		t.Errorf("metrics look dead: %+v", m)
+	}
+}
+
 func TestAndOrXorTruthTables(t *testing.T) {
 	// For every pair of free vars and every gate, enumerate models and
 	// compare with Go's operators by asserting both polarities.

@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
 	"parserhawk/internal/bitstream"
+	"parserhawk/internal/bv"
 	"parserhawk/internal/hw"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/sat"
@@ -32,16 +33,37 @@ var ErrTimeout = errors.New("core: compilation timed out")
 // resources.
 var ErrNoSolution = errors.New("core: no implementation fits the device resources")
 
+// errCanceled marks a skeleton attempt or budget rung that was cut short by
+// cancellation — either the compilation deadline or a sibling winning the
+// race. It never escapes Compile: the collector translates it into
+// ErrTimeout, the caller's context error, or simply drops it when a sibling
+// produced a result.
+var errCanceled = errors.New("core: attempt canceled")
+
+// errBudgetTooSmall reports that a budget rung proved its entry budget
+// insufficient (solver UNSAT, or the shape exceeded device limits); the
+// ladder climbs to the next rung.
+var errBudgetTooSmall = errors.New("core: entry budget too small")
+
 // Compile synthesizes a TCAM parser program implementing spec on the given
 // hardware profile. It is the whole Figure 8 pipeline: analysis, skeleton
 // portfolio, CEGIS, post-synthesis optimization, and validation.
 func Compile(spec *pir.Spec, profile hw.Profile, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), spec, profile, opts)
+}
+
+// CompileContext is Compile under a caller-supplied context. Cancellation
+// is threaded down through every skeleton attempt, budget rung, and into
+// the CDCL conflict loop itself, so canceling ctx aborts in-flight SAT
+// solves instead of waiting for them to finish. Options.Timeout, when set,
+// is applied as a deadline on top of ctx.
+func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opts Options) (*Result, error) {
 	start := time.Now()
-	deadline := time.Time{}
 	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(opts.Timeout))
+		defer cancel()
 	}
-	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
 
 	// Loopy specs on pipelined devices are bounded by unrolling; the
 	// verifier must use the same iteration bound so "deeper stack than the
@@ -84,53 +106,79 @@ func Compile(spec *pir.Spec, profile hw.Profile, opts Options) (*Result, error) 
 	}
 	stats.SearchSpaceBits = spec.SearchSpaceBits(estEntries, stages)
 
-	type attemptOut struct {
-		res *Result
-		err error
-		idx int
+	// Portfolio entry lower bound: any solution from skeleton i uses at
+	// least skeletonLowerBound(i) entries, so a solution at the portfolio
+	// minimum cannot be beaten on the entry count by any sibling. Reaching
+	// it cancels the rest of the race (§6.7 with early termination).
+	// Pipelined devices rank by stages, for which no such bound is
+	// computed, so they always run the portfolio to completion.
+	minLB := 0
+	if profile.Arch == hw.SingleTable && opts.Opt4ConstantSynthesis {
+		for i := range synthSks {
+			lb := skeletonLowerBound(effSynth, &synthSks[i])
+			if minLB == 0 || lb < minLB {
+				minLB = lb
+			}
+		}
 	}
-	attempt := func(idx int) attemptOut {
-		r, err := compileSkeleton(spec, effOrig, effSynth, &origSks[idx], &synthSks[idx], profile, opts, expired)
-		return attemptOut{res: r, err: err, idx: idx}
+	provablyCheapest := func(r *Result) bool {
+		return !opts.ExhaustPortfolio && minLB > 0 && r.Resources.Entries <= minLB
 	}
 
+	type attemptOut struct {
+		res    *Result
+		solver SolverStats
+		err    error
+	}
+	attempt := func(actx context.Context, idx int) attemptOut {
+		r, solver, err := compileSkeleton(actx, spec, effOrig, effSynth, &origSks[idx], &synthSks[idx], profile, opts)
+		return attemptOut{res: r, solver: solver, err: err}
+	}
+
+	raceCtx, cancelRace := context.WithCancel(ctx)
+	defer cancelRace()
+
 	var outs []attemptOut
-	if opts.Opt7Parallelism && len(origSks) > 1 && runtime.NumCPU() > 1 {
-		// §6.7: solve structural subproblems in parallel, keep every
-		// success, choose the cheapest.
+	if opts.Opt7Parallelism && len(origSks) > 1 && effectiveWorkers(opts) > 1 {
+		// §6.7: solve structural subproblems in parallel. Results stream in
+		// as they finish; a provably-cheapest one cancels the still-running
+		// siblings instead of letting them burn CPU to completion. The
+		// channel is still drained fully — canceled attempts return promptly
+		// through the solver/verifier cancellation polls — so every late
+		// result is observed and no goroutine outlives the call.
 		ch := make(chan attemptOut, len(origSks))
-		var wg sync.WaitGroup
 		for i := range origSks {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				ch <- attempt(i)
-			}(i)
+			go func(i int) { ch <- attempt(raceCtx, i) }(i)
 		}
-		wg.Wait()
-		close(ch)
-		for o := range ch {
+		for range origSks {
+			o := <-ch
 			outs = append(outs, o)
+			if o.err == nil && provablyCheapest(o.res) {
+				cancelRace()
+			}
 		}
 	} else {
 		// Sequential portfolio (single-CPU machines, or Opt7 disabled):
 		// every structural subproblem still runs — chunk-check order alone
-		// can change the entry count (Figure 4's V1 vs V2) — the
-		// subproblems just share the core instead of racing.
+		// can change the entry count (Figure 4's V1 vs V2) — unless one
+		// reaches the portfolio lower bound, which no later subproblem can
+		// improve on.
 		for i := range origSks {
-			outs = append(outs, attempt(i))
+			o := attempt(raceCtx, i)
+			outs = append(outs, o)
+			if o.err == nil && provablyCheapest(o.res) {
+				break
+			}
 		}
 	}
 
 	var best *Result
 	var firstErr error
-	timedOut := false
 	for _, o := range outs {
 		stats.SkeletonsTried++
+		stats.Solver.Add(o.solver)
 		if o.err != nil {
-			if errors.Is(o.err, ErrTimeout) {
-				timedOut = true
-			} else if firstErr == nil {
+			if firstErr == nil && !errors.Is(o.err, errCanceled) {
 				firstErr = o.err
 			}
 			continue
@@ -140,18 +188,34 @@ func Compile(spec *pir.Spec, profile hw.Profile, opts Options) (*Result, error) 
 		}
 	}
 	if best == nil {
-		if timedOut {
+		// Order matters: a deadline explains canceled attempts, but it is
+		// checked only here, after every collected result has been
+		// considered — a success that lands after the deadline check in a
+		// sibling goroutine still wins above, so ErrTimeout never masks it.
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			return nil, ErrTimeout
-		}
-		if firstErr != nil {
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case firstErr != nil:
 			return nil, firstErr
 		}
 		return nil, ErrNoSolution
 	}
 	best.Stats.SkeletonsTried = stats.SkeletonsTried
 	best.Stats.SearchSpaceBits = stats.SearchSpaceBits
+	best.Stats.Solver = stats.Solver
 	best.Stats.Elapsed = time.Since(start)
 	return best, nil
+}
+
+// effectiveWorkers resolves Options.Workers: an explicit value wins, zero
+// means one worker per schedulable CPU.
+func effectiveWorkers(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // cheaper orders resource footprints by the device's scarce resource:
@@ -170,23 +234,28 @@ func cheaper(profile hw.Profile, a, b tcam.Resources) bool {
 	return a.States < b.States
 }
 
-// compileSkeleton runs the iterative-deepening entry-budget ladder with a
-// CEGIS loop at each rung.
 // compileSkeleton runs CEGIS over one skeleton. spec is the user's
 // original specification (used for the emitted program's field table);
 // effOrig/effSynth are the effective verification specs — equal to
 // spec/scaled-spec for loop-capable targets, their bounded unrollings for
 // pipelined ones.
-func compileSkeleton(spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleton, profile hw.Profile, opts Options, expired func() bool) (*Result, error) {
-	cap := 0
+//
+// The iterative-deepening entry-budget ladder runs each rung through
+// runBudget. With Opt7 and more than one worker, adjacent rungs (budgets k
+// and k+1) race in parallel with first-useful-win semantics; otherwise the
+// ladder is strictly sequential. The returned SolverStats totals the
+// solver effort of every rung attempted, including losers — it is reported
+// even when the skeleton fails, so Compile can account for the whole race.
+func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleton, profile hw.Profile, opts Options) (*Result, SolverStats, error) {
+	capN := 0
 	for _, ss := range synthSk.States {
-		cap += ss.MaxEntries
+		capN += ss.MaxEntries
 	}
-	if opts.MaxEntryBudget > 0 && opts.MaxEntryBudget < cap {
-		cap = opts.MaxEntryBudget
+	if opts.MaxEntryBudget > 0 && opts.MaxEntryBudget < capN {
+		capN = opts.MaxEntryBudget
 	}
-	if profile.Arch == hw.SingleTable && cap > profile.TCAMLimit {
-		cap = profile.TCAMLimit
+	if profile.Arch == hw.SingleTable && capN > profile.TCAMLimit {
+		capN = profile.TCAMLimit
 	}
 	// Semantic lower bound: a state realizing spec states with k distinct
 	// implementation-level transition targets needs at least k entries
@@ -198,134 +267,457 @@ func compileSkeleton(spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleto
 	if opts.Opt4ConstantSynthesis {
 		low = skeletonLowerBound(effSynth, synthSk)
 	}
-	if low > cap {
-		low = cap
+	if low > capN {
+		low = capN
 	}
 	if low < 1 {
 		low = 1
 	}
 
-	ver, err := newVerifier(effSynth, opts, opts.Seed)
+	eng := &skeletonEngine{
+		spec:       spec,
+		effOrig:    effOrig,
+		effSynth:   effSynth,
+		origSk:     origSk,
+		synthSk:    synthSk,
+		profile:    profile,
+		opts:       opts,
+		debug:      os.Getenv("PARSERHAWK_DEBUG") != "",
+		synthStart: time.Now(),
+	}
+	if opts.Opt7Parallelism && effectiveWorkers(opts) > 1 && capN > low {
+		return eng.raceLadder(ctx, low, capN)
+	}
+	env, err := eng.newEnv()
+	if err != nil {
+		return nil, SolverStats{}, err
+	}
+	return eng.sequentialLadder(ctx, env, low, capN)
+}
+
+// skeletonEngine is the immutable context of one skeleton's budget ladder.
+type skeletonEngine struct {
+	spec, effOrig, effSynth *pir.Spec
+	origSk, synthSk         *skeleton
+	profile                 hw.Profile
+	opts                    Options
+	debug                   bool
+	synthStart              time.Time
+}
+
+// budgetEnv is the mutable CEGIS environment one budget runner works in:
+// the verifier pair (whose sampling RNGs advance as candidates are
+// checked) and the growing example pool. The sequential ladder threads one
+// env through every rung, carrying counterexamples up the ladder as
+// classic iterative deepening does. Racing rungs each get an isolated env,
+// so a rung's outcome is a deterministic function of (spec, skeleton,
+// budget, seed) — never of sibling timing. Sharing the pool across racing
+// rungs looks attractive (counterexamples are valid at every budget) but
+// makes the entry count scheduling-dependent: a sibling's counterexample
+// arriving before rung k's solve can flip that solve from SAT to UNSAT.
+type budgetEnv struct {
+	ver, origVer *verifier
+	examples     *exampleSet
+}
+
+// newEnv builds a fresh deterministic environment: verifiers seeded from
+// Options.Seed and a pool holding the two §5.2 seed examples.
+func (eng *skeletonEngine) newEnv() (*budgetEnv, error) {
+	ver, err := newVerifier(eng.effSynth, eng.opts, eng.opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	origVer, err := newVerifier(effOrig, opts, opts.Seed+1)
+	origVer, err := newVerifier(eng.effOrig, eng.opts, eng.opts.Seed+1)
 	if err != nil {
 		return nil, err
 	}
-
-	// Shared CEGIS example set: counterexamples discovered at one budget
-	// remain valid spec behaviours at every other budget.
-	type example struct {
-		in  bitstream.Bits
-		out pir.Result
+	env := &budgetEnv{
+		ver:      ver,
+		origVer:  origVer,
+		examples: &exampleSet{spec: eng.effSynth, iterBudget: ver.maxIterBudget()},
 	}
-	k := ver.maxIterBudget()
-	var examples []example
-	addExample := func(in bitstream.Bits) {
-		examples = append(examples, example{in: in, out: effSynth.Run(in, k)})
-	}
-	addExample(make(bitstream.Bits, ver.maxLen)) // all-zeros
-	addExample(ver.randomInput())                // §5.2: one random seed example
+	env.examples.add(make(bitstream.Bits, ver.maxLen)) // all-zeros
+	env.examples.add(ver.randomInput())                // §5.2: one random seed example
+	return env, nil
+}
 
-	stats := Stats{}
-	synthStart := time.Now()
-	debug := os.Getenv("PARSERHAWK_DEBUG") != ""
-	for budget := low; budget <= cap; budget++ {
-		if debug {
-			fmt.Fprintf(os.Stderr, "[%s] budget=%d/%d examples=%d vars-so-far elapsed=%.1fs\n",
-				synthSk.Name, budget, cap, len(examples), time.Since(synthStart).Seconds())
+// example is one CEGIS input/expected-output pair.
+type example struct {
+	in  bitstream.Bits
+	out pir.Result
+}
+
+// exampleSet is an append-only CEGIS example pool. Each pool belongs to a
+// single budget runner (or the whole sequential ladder), so it needs no
+// locking.
+type exampleSet struct {
+	spec       *pir.Spec
+	iterBudget int
+	ex         []example
+}
+
+func (e *exampleSet) add(in bitstream.Bits) {
+	out := e.spec.Run(in, e.iterBudget)
+	e.ex = append(e.ex, example{in: in, out: out})
+}
+
+// pending returns the examples appended at index from and beyond.
+func (e *exampleSet) pending(from int) []example {
+	return e.ex[from:]
+}
+
+func (e *exampleSet) size() int { return len(e.ex) }
+
+// rungResult is the outcome of one budget rung: a Result on success, or
+// errBudgetTooSmall (climb), errCanceled (race lost or deadline), or a
+// terminal error. stats always carries the rung's own solver effort so the
+// scheduler can account for losers too.
+type rungResult struct {
+	budget int
+	res    *Result
+	err    error
+	stats  Stats
+}
+
+// sequentialLadder is the classic iterative-deepening loop: one budget at
+// a time, climbing on errBudgetTooSmall, with counterexamples (and the
+// verifiers' RNG state) carried up the ladder through the shared env.
+func (eng *skeletonEngine) sequentialLadder(ctx context.Context, env *budgetEnv, low, capN int) (*Result, SolverStats, error) {
+	var collected []*rungResult
+	for budget := low; budget <= capN; budget++ {
+		r := eng.runBudget(ctx, budget, env)
+		collected = append(collected, r)
+		if r.err == nil {
+			return eng.assemble(r, collected)
 		}
-		if expired() {
-			return nil, ErrTimeout
+		if errors.Is(r.err, errBudgetTooSmall) {
+			continue
 		}
-		sy := newSynthesizer(effSynth, synthSk, profile, opts, budget)
-		fed := 0
-		for {
-			if expired() {
-				return nil, ErrTimeout
-			}
-			tb := time.Now()
-			for ; fed < len(examples); fed++ {
-				if err := sy.addTestCase(examples[fed].in, examples[fed].out); err != nil {
-					return nil, err
+		return nil, sumSolver(collected), r.err
+	}
+	return nil, sumSolver(collected), ErrNoSolution
+}
+
+// scoutDelay is how long a speculative budget rung (the scout at k+1)
+// waits before starting work. When rung k succeeds faster than this — the
+// common case once Opt4's lower bound makes the first rung tight — the
+// scout is canceled before it burns any solver time, keeping the racing
+// ladder's wall time at parity with the sequential one on easy problems
+// while still overlapping slow UNSAT rungs on hard ones.
+const scoutDelay = 50 * time.Millisecond
+
+// raceLadder races adjacent entry budgets (k and k+1) with first-useful-win
+// semantics: rung k's outcome is authoritative — its success wins
+// immediately and cancels the scout at k+1, while its UNSAT promotes the
+// scout to authoritative and launches a new scout at k+2. A scout's success
+// is held until every smaller rung has resolved UNSAT, preserving the
+// minimal-entry guarantee of strict iterative deepening at roughly half the
+// wall-clock when rungs are solver-bound. Each rung runs in an isolated
+// budgetEnv, so its outcome — and therefore the ladder's final entry count
+// — does not depend on sibling timing.
+func (eng *skeletonEngine) raceLadder(ctx context.Context, low, capN int) (*Result, SolverStats, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan *rungResult, capN-low+1)
+	next := low
+	inFlight := 0
+	launch := func() {
+		if next > capN {
+			return
+		}
+		b := next
+		next++
+		inFlight++
+		scout := b > low
+		go func() {
+			if scout {
+				select {
+				case <-time.After(scoutDelay):
+				case <-raceCtx.Done():
+					ch <- &rungResult{budget: b, err: errCanceled}
+					return
 				}
 			}
-			if debug {
-				fmt.Fprintf(os.Stderr, "  build=%.2fs vars=%d\n", time.Since(tb).Seconds(), sy.s.NumVars())
+			env, err := eng.newEnv()
+			if err != nil {
+				ch <- &rungResult{budget: b, err: err}
+				return
 			}
-			t0 := time.Now()
-			status := sy.solve(expired)
-			stats.SynthesisTime += time.Since(t0)
-			if debug {
-				fmt.Fprintf(os.Stderr, "  solve=%.2fs status=%v\n", time.Since(t0).Seconds(), status)
-			}
-			if status == sat.Unsat {
-				break // budget too small; climb the ladder
-			}
-			if status == sat.Unknown {
-				return nil, ErrTimeout
-			}
-			stats.CEGISIterations++
+			ch <- eng.runBudget(raceCtx, b, env)
+		}()
+	}
+	launch()
+	launch()
 
-			// Verification phase on the synthesis-side spec.
-			cand := sy.extract(effSynth, synthSk)
-			t1 := time.Now()
-			cex, found, _ := ver.counterexample(cand)
-			stats.VerifyTime += time.Since(t1)
-			if found {
-				addExample(cex)
+	outcomes := map[int]*rungResult{}
+	var collected []*rungResult
+	drain := func() {
+		cancel()
+		for inFlight > 0 {
+			r := <-ch
+			inFlight--
+			collected = append(collected, r)
+			outcomes[r.budget] = r
+		}
+	}
+	// smallestSuccess returns the successful rung with the smallest budget,
+	// if any. It is how a deadline or terminal failure at one rung is kept
+	// from masking a success already achieved by a sibling.
+	smallestSuccess := func() *rungResult {
+		var w *rungResult
+		for _, r := range outcomes {
+			if r.err == nil && (w == nil || r.budget < w.budget) {
+				w = r
+			}
+		}
+		return w
+	}
+
+	cur := low
+	for inFlight > 0 {
+		r := <-ch
+		inFlight--
+		collected = append(collected, r)
+		outcomes[r.budget] = r
+		for {
+			o, ok := outcomes[cur]
+			if !ok {
+				break
+			}
+			if o.err == nil {
+				drain()
+				return eng.assemble(o, collected)
+			}
+			if errors.Is(o.err, errBudgetTooSmall) {
+				cur++
+				launch()
 				continue
 			}
-
-			// Success on the synthesis spec: rebuild against the original
-			// spec (undo Opt2 scaling) and re-verify.
-			final := sy.extract(spec, origSk)
-			if cex2, found2, _ := origVer.counterexample(final); found2 {
-				if effSynth == effOrig {
-					// Same spec, different sampling seed: a genuine
-					// counterexample the first verifier missed. Feed it
-					// back into the CEGIS example set and continue.
-					addExample(cex2)
-					continue
-				}
-				// Scaling misled synthesis (should not happen for supported
-				// specs); fall back by disabling Opt2 for this skeleton.
-				o2 := opts
-				o2.Opt2BitWidthMin = false
-				return compileSkeleton(spec, effOrig, effOrig, origSk, origSk, profile, o2, expired)
+			// Terminal outcome (cancellation or hard failure) at the
+			// authoritative rung: a sibling may still have succeeded at a
+			// larger budget — prefer any such result over the error.
+			drain()
+			if w := smallestSuccess(); w != nil {
+				return eng.assemble(w, collected)
 			}
-			unoptimized := final
-			final, err := postOptimize(final, profile)
-			if err != nil {
-				// Post-optimization found a hard resource violation (e.g.
-				// too many stages); a larger budget will not help.
-				return nil, err
-			}
-			// Folding can change iteration counts; at the unrolling bound K
-			// that can shift an outcome across the budget boundary. Keep the
-			// optimized program only if it still satisfies the K-bounded
-			// contract.
-			if _, foldBroke, _ := origVer.counterexample(final); foldBroke {
-				final = unoptimized
-				if profile.Arch != hw.SingleTable {
-					var serr error
-					if final, serr = assignStages(final, profile); serr != nil {
-						break
-					}
-				}
-			}
-			if err := profile.Validate(final); err != nil {
-				break // exceeds device limits at this shape; try next budget
-			}
-			stats.EntryBudget = budget
-			stats.SolverVars = sy.s.NumVars()
-			stats.TestCases = len(examples)
-			stats.Elapsed = time.Since(synthStart)
-			return &Result{Program: final, Resources: final.Resources(), Stats: stats}, nil
+			return nil, sumSolver(collected), o.err
 		}
 	}
-	return nil, ErrNoSolution
+	return nil, sumSolver(collected), ErrNoSolution
+}
+
+// assemble merges the winning rung's result with the effort of every other
+// rung attempted on this skeleton: synthesis/verify times and CEGIS
+// iteration counts are summed (they measure work done, as the sequential
+// ladder always did), and SolverStats totals every rung's solver.
+func (eng *skeletonEngine) assemble(w *rungResult, collected []*rungResult) (*Result, SolverStats, error) {
+	st := w.res.Stats
+	var total SolverStats
+	for _, r := range collected {
+		total.Add(r.stats.Solver)
+		if r != w {
+			st.SynthesisTime += r.stats.SynthesisTime
+			st.VerifyTime += r.stats.VerifyTime
+			st.CEGISIterations += r.stats.CEGISIterations
+		}
+	}
+	st.Solver = total
+	st.BudgetsTried = len(collected)
+	st.Elapsed = time.Since(eng.synthStart)
+	w.res.Stats = st
+	return w.res, total, nil
+}
+
+func sumSolver(collected []*rungResult) SolverStats {
+	var total SolverStats
+	for _, r := range collected {
+		total.Add(r.stats.Solver)
+	}
+	return total
+}
+
+// solverSnapshot converts the bit-blasting layer's counters into the
+// public SolverStats shape.
+func solverSnapshot(s *bv.Solver, solves int64) SolverStats {
+	m := s.Metrics()
+	return SolverStats{
+		Solves:          solves,
+		Decisions:       m.Decisions,
+		Propagations:    m.Propagations,
+		Conflicts:       m.Conflicts,
+		LearnedClauses:  m.LearnedClauses,
+		LearnedLiterals: m.LearnedLiterals,
+		Restarts:        m.Restarts,
+		Clauses:         m.Clauses,
+		Gates:           m.Gates,
+		Vars:            m.Vars,
+	}
+}
+
+// runBudget runs the CEGIS loop at one entry budget in env: feed the
+// pool's examples, solve, verify, and either return a validated Result,
+// errBudgetTooSmall to climb the ladder, or errCanceled when ctx fired
+// mid-search. An interrupted solve or verification is never mistaken for
+// UNSAT / "no counterexample": both carry explicit interrupt signals
+// (sat.ErrCanceled, the verifier's interrupted flag).
+func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budgetEnv) *rungResult {
+	out := &rungResult{budget: budget}
+	stop := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	if stop() {
+		out.err = errCanceled
+		return out
+	}
+
+	sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, budget)
+	var solves int64
+	fin := func(err error) *rungResult {
+		out.stats.Solver = solverSnapshot(sy.s, solves)
+		out.err = err
+		return out
+	}
+	if eng.debug {
+		fmt.Fprintf(os.Stderr, "[%s] budget=%d examples=%d elapsed=%.1fs\n",
+			eng.synthSk.Name, budget, env.examples.size(), time.Since(eng.synthStart).Seconds())
+	}
+
+	fed := 0
+	for {
+		if stop() {
+			return fin(errCanceled)
+		}
+		tb := time.Now()
+		for _, ex := range env.examples.pending(fed) {
+			if stop() {
+				return fin(errCanceled)
+			}
+			if err := sy.addTestCase(ex.in, ex.out); err != nil {
+				return fin(err)
+			}
+			fed++
+		}
+		if eng.debug {
+			fmt.Fprintf(os.Stderr, "  [b=%d] build=%.2fs vars=%d\n", budget, time.Since(tb).Seconds(), sy.s.NumVars())
+		}
+		t0 := time.Now()
+		status := sy.solve(stop)
+		solves++
+		solveTime := time.Since(t0)
+		out.stats.SynthesisTime += solveTime
+		iter := IterationStats{
+			Budget:    budget,
+			Examples:  fed,
+			Status:    status.String(),
+			SolveTime: solveTime,
+			Solver:    solverSnapshot(sy.s, solves),
+		}
+		if eng.debug {
+			fmt.Fprintf(os.Stderr, "  [b=%d] solve=%.2fs status=%v\n", budget, solveTime.Seconds(), status)
+		}
+		if status == sat.Unsat {
+			out.stats.Iterations = append(out.stats.Iterations, iter)
+			return fin(errBudgetTooSmall) // budget too small; climb the ladder
+		}
+		if status == sat.Unknown {
+			// The only Unknown source here is the cancellation poll: an
+			// interrupted solve reports interruption, never UNSAT.
+			iter.Status = "canceled"
+			out.stats.Iterations = append(out.stats.Iterations, iter)
+			return fin(errCanceled)
+		}
+		out.stats.CEGISIterations++
+
+		// Verification phase on the synthesis-side spec.
+		cand := sy.extract(eng.effSynth, eng.synthSk)
+		t1 := time.Now()
+		cex, found, _, interrupted := env.ver.counterexampleStop(cand, stop)
+		iter.VerifyTime = time.Since(t1)
+		out.stats.VerifyTime += iter.VerifyTime
+		out.stats.Iterations = append(out.stats.Iterations, iter)
+		if interrupted {
+			return fin(errCanceled)
+		}
+		if found {
+			env.examples.add(cex)
+			continue
+		}
+
+		// Success on the synthesis spec: rebuild against the original
+		// spec (undo Opt2 scaling) and re-verify.
+		final := sy.extract(eng.spec, eng.origSk)
+		cex2, found2, _, interrupted2 := env.origVer.counterexampleStop(final, stop)
+		if interrupted2 {
+			return fin(errCanceled)
+		}
+		if found2 {
+			if eng.effSynth == eng.effOrig {
+				// Same spec, different sampling seed: a genuine
+				// counterexample the first verifier missed. Feed it
+				// back into the CEGIS example set and continue.
+				env.examples.add(cex2)
+				continue
+			}
+			// Scaling misled synthesis (should not happen for supported
+			// specs); fall back by disabling Opt2 for this skeleton.
+			o2 := eng.opts
+			o2.Opt2BitWidthMin = false
+			res, subSolver, suberr := compileSkeleton(ctx, eng.spec, eng.effOrig, eng.effOrig, eng.origSk, eng.origSk, eng.profile, o2)
+			own := solverSnapshot(sy.s, solves)
+			if suberr != nil {
+				own.Add(subSolver)
+				out.stats.Solver = own
+				out.err = suberr
+				return out
+			}
+			// Adopt the fallback's stats wholesale and fold this rung's own
+			// solver effort in, so the scheduler counts it exactly once.
+			res.Stats.Solver.Add(own)
+			out.res = res
+			out.stats = res.Stats
+			return out
+		}
+		unoptimized := final
+		final, err := postOptimize(final, eng.profile)
+		if err != nil {
+			// Post-optimization found a hard resource violation (e.g.
+			// too many stages); a larger budget will not help.
+			return fin(err)
+		}
+		// Folding can change iteration counts; at the unrolling bound K
+		// that can shift an outcome across the budget boundary. Keep the
+		// optimized program only if it still satisfies the K-bounded
+		// contract.
+		_, foldBroke, _, foldInterrupted := env.origVer.counterexampleStop(final, stop)
+		if foldInterrupted {
+			return fin(errCanceled)
+		}
+		if foldBroke {
+			final = unoptimized
+			if eng.profile.Arch != hw.SingleTable {
+				var serr error
+				if final, serr = assignStages(final, eng.profile); serr != nil {
+					return fin(errBudgetTooSmall)
+				}
+			}
+		}
+		if err := eng.profile.Validate(final); err != nil {
+			return fin(errBudgetTooSmall) // exceeds device limits at this shape; try next budget
+		}
+		out.stats.EntryBudget = budget
+		out.stats.SolverVars = sy.s.NumVars()
+		out.stats.TestCases = env.examples.size()
+		out.stats.Solver = solverSnapshot(sy.s, solves)
+		out.stats.Elapsed = time.Since(eng.synthStart)
+		out.res = &Result{Program: final, Resources: final.Resources(), Stats: out.stats}
+		return out
+	}
 }
 
 // skeletonLowerBound computes the minimum total entry count any correct

@@ -65,6 +65,14 @@ type Options struct {
 	// Workers bounds Opt7's parallel subproblems. Zero means GOMAXPROCS.
 	Workers int
 
+	// ExhaustPortfolio disables early termination of the skeleton
+	// portfolio: every structural subproblem runs to completion even after
+	// a sibling has produced a provably-cheapest result (one at the
+	// portfolio's entry lower bound). The evaluation harness uses it to
+	// measure how much work early cancellation saves; leave it off
+	// otherwise.
+	ExhaustPortfolio bool
+
 	// Seed makes test-case generation deterministic.
 	Seed int64
 }
@@ -100,13 +108,68 @@ func NaiveOptions() Options {
 // Stats reports how a compilation went; the evaluation tables are built
 // from these numbers.
 type Stats struct {
-	CEGISIterations int           // synthesis/verification round trips
-	SkeletonsTried  int           // structural subproblems attempted
-	EntryBudget     int           // final entry budget that succeeded
-	SearchSpaceBits int           // free decision bits of the naive encoding (Table 3)
-	SolverVars      int           // CNF variables of the final successful query
-	Elapsed         time.Duration // wall-clock compile time
-	SynthesisTime   time.Duration
-	VerifyTime      time.Duration
-	TestCases       int // final size of the CEGIS example set
+	CEGISIterations int           `json:"cegis_iterations"`  // synthesis/verification round trips (winning skeleton)
+	SkeletonsTried  int           `json:"skeletons_tried"`   // structural subproblems attempted
+	BudgetsTried    int           `json:"budgets_tried"`     // entry-budget rungs attempted on the winning skeleton
+	EntryBudget     int           `json:"entry_budget"`      // final entry budget that succeeded
+	SearchSpaceBits int           `json:"search_space_bits"` // free decision bits of the naive encoding (Table 3)
+	SolverVars      int           `json:"solver_vars"`       // CNF variables of the final successful query
+	Elapsed         time.Duration `json:"elapsed"`           // wall-clock compile time
+	SynthesisTime   time.Duration `json:"synthesis_time"`
+	VerifyTime      time.Duration `json:"verify_time"`
+	TestCases       int           `json:"test_cases"` // final size of the CEGIS example set
+
+	// Solver aggregates the CDCL/bit-blasting counters over every solver
+	// instance the compilation ran — including skeleton attempts and budget
+	// rungs that lost the race or were canceled, so it measures total search
+	// effort, not just the winner's.
+	Solver SolverStats `json:"solver"`
+	// Iterations is the winning budget runner's per-CEGIS-iteration trace.
+	// Solver snapshots within it are cumulative for that runner's solver, so
+	// they grow monotonically across the trace.
+	Iterations []IterationStats `json:"iterations,omitempty"`
+}
+
+// SolverStats aggregates solver-level search counters (§6's cost model made
+// observable): CDCL decisions, conflicts, propagations, learned clauses and
+// restarts, plus the bit-blasting layer's CNF size in clauses, Tseitin
+// gates, and variables.
+type SolverStats struct {
+	Solves          int64 `json:"solves"` // Solve calls issued
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Conflicts       int64 `json:"conflicts"`
+	LearnedClauses  int64 `json:"learned_clauses"`
+	LearnedLiterals int64 `json:"learned_literals"`
+	Restarts        int64 `json:"restarts"`
+	Clauses         int64 `json:"clauses"` // bit-blasted problem clauses
+	Gates           int64 `json:"gates"`   // Tseitin gates materialized
+	Vars            int64 `json:"vars"`    // CNF variables allocated
+}
+
+// Add accumulates another snapshot into s.
+func (s *SolverStats) Add(o SolverStats) {
+	s.Solves += o.Solves
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.LearnedClauses += o.LearnedClauses
+	s.LearnedLiterals += o.LearnedLiterals
+	s.Restarts += o.Restarts
+	s.Clauses += o.Clauses
+	s.Gates += o.Gates
+	s.Vars += o.Vars
+}
+
+// IterationStats records one CEGIS iteration of one budget runner: the
+// wall time split between the synthesis solve and the verification search,
+// and a cumulative snapshot of the runner's solver counters taken right
+// after the iteration's solve returned.
+type IterationStats struct {
+	Budget     int           `json:"budget"`
+	Examples   int           `json:"examples"` // CEGIS examples fed before this solve
+	Status     string        `json:"status"`   // sat, unsat, or canceled
+	SolveTime  time.Duration `json:"solve_time"`
+	VerifyTime time.Duration `json:"verify_time"`
+	Solver     SolverStats   `json:"solver"` // cumulative within this runner
 }

@@ -89,42 +89,68 @@ func (v *verifier) maxIterBudget() int { return v.budget }
 // disagree. The boolean reports whether one was found; exhaustive reports
 // whether the search covered the whole (padded) input space.
 func (v *verifier) counterexample(prog *tcam.Program) (cex bitstream.Bits, found, exhaustive bool) {
+	cex, found, exhaustive, _ = v.counterexampleStop(prog, nil)
+	return cex, found, exhaustive
+}
+
+// counterexampleStop is counterexample with a cancellation hook: stop (when
+// non-nil) is polled periodically and aborts the search. An aborted search
+// reports interrupted=true and MUST NOT be read as "no counterexample
+// exists" — the candidate was simply not fully checked. Callers that race
+// budget runners rely on this distinction to avoid accepting an unverified
+// program when their sibling wins.
+func (v *verifier) counterexampleStop(prog *tcam.Program, stop func() bool) (cex bitstream.Bits, found, exhaustive, interrupted bool) {
 	k := v.maxIterBudget()
 	check := func(in bitstream.Bits) bool {
 		return !prog.Run(in, k).Same(v.spec.Run(in, k))
 	}
+	stopped := func(i int) bool {
+		return stop != nil && i&63 == 0 && stop()
+	}
 	if v.maxLen <= v.opts.ExhaustiveVerifyBits {
 		n := uint64(1) << uint(v.maxLen)
 		for x := uint64(0); x < n; x++ {
+			if stopped(int(x)) {
+				return nil, false, false, true
+			}
 			in := bitstream.FromUint(x, v.maxLen)
 			if check(in) {
-				return in, true, true
+				return in, true, true, false
 			}
 		}
-		return nil, false, true
+		return nil, false, true, false
 	}
 	// Deterministic per-rule coverage first: one input per (path rule,
 	// state rule) combination. These catch wide-key mistakes that random
 	// sampling would hit with probability 2^-keyWidth.
-	for _, in := range v.directedSuite() {
+	for i, in := range v.directedSuite() {
+		if stopped(i) {
+			return nil, false, false, true
+		}
 		if check(in) {
-			return in, true, false
+			return in, true, false, false
 		}
 	}
 	// Then stochastic directed walks and uniform random sampling.
 	for i := 0; i < v.opts.VerifySamples/2; i++ {
+		if stopped(i) {
+			return nil, false, false, true
+		}
 		in := v.directedInput()
 		if check(in) {
-			return in, true, false
+			return in, true, false, false
 		}
 	}
 	for i := 0; i < v.opts.VerifySamples/2; i++ {
+		if stopped(i) {
+			return nil, false, false, true
+		}
 		in := bitstream.Random(v.rng, v.maxLen)
 		if check(in) {
-			return in, true, false
+			return in, true, false, false
 		}
 	}
-	return nil, false, false
+	return nil, false, false, false
 }
 
 // directedSuite deterministically constructs inputs that drive the

@@ -113,6 +113,11 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	propsN    int64
+	restartsN int64
+	learnedN  int64
+	learnedLN int64
+	clausesN  int64
+	ticks     int64
 
 	// Cancel, when non-nil, is polled periodically; returning true aborts
 	// the solve with Unknown and Err() == ErrCanceled.
@@ -151,6 +156,48 @@ func (s *Solver) Stats() (decisions, propagations, conflicts int64) {
 	return s.decisions, s.propsN, s.conflicts
 }
 
+// Metrics is a snapshot of the solver's cumulative search counters. All
+// fields grow monotonically over the solver's lifetime (learned-clause
+// counts track clauses ever learned, not the live database, which the
+// reduceDB garbage collector shrinks).
+type Metrics struct {
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Conflicts       int64 `json:"conflicts"`
+	LearnedClauses  int64 `json:"learned_clauses"`
+	LearnedLiterals int64 `json:"learned_literals"`
+	Restarts        int64 `json:"restarts"`
+	Clauses         int64 `json:"clauses"`
+	Vars            int64 `json:"vars"`
+}
+
+// Add accumulates another snapshot into m (for aggregating across the
+// many solver instances a synthesis run creates).
+func (m *Metrics) Add(o Metrics) {
+	m.Decisions += o.Decisions
+	m.Propagations += o.Propagations
+	m.Conflicts += o.Conflicts
+	m.LearnedClauses += o.LearnedClauses
+	m.LearnedLiterals += o.LearnedLiterals
+	m.Restarts += o.Restarts
+	m.Clauses += o.Clauses
+	m.Vars += o.Vars
+}
+
+// Metrics returns the solver's cumulative counters.
+func (s *Solver) Metrics() Metrics {
+	return Metrics{
+		Decisions:       s.decisions,
+		Propagations:    s.propsN,
+		Conflicts:       s.conflicts,
+		LearnedClauses:  s.learnedN,
+		LearnedLiterals: s.learnedLN,
+		Restarts:        s.restartsN,
+		Clauses:         s.clausesN,
+		Vars:            int64(len(s.assign)),
+	}
+}
+
 // Err returns the reason a solve ended Unknown, if any.
 func (s *Solver) Err() error { return s.err }
 
@@ -159,6 +206,7 @@ func (s *Solver) Err() error { return s.err }
 // unallocated variables are an error by construction (panic), as they
 // indicate an encoder bug.
 func (s *Solver) AddClause(lits ...Lit) bool {
+	s.clausesN++
 	if s.RecordOriginal {
 		s.original = append(s.original, append([]Lit(nil), lits...))
 	}
@@ -425,6 +473,8 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 }
 
 func (s *Solver) record(learned []Lit) {
+	s.learnedN++
+	s.learnedLN += int64(len(learned))
 	if len(learned) == 1 {
 		s.enqueue(learned[0], nil)
 		return
@@ -485,6 +535,16 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	maxLearnts := int64(len(s.clauses)/3 + 500)
 
 	for {
+		// Cancellation poll. Counted in loop ticks, not conflicts, so both
+		// conflict storms and long decision/propagation stretches (where the
+		// conflict counter stands still) notice a cancel promptly. On
+		// interrupt the answer is Unknown — never Unsat: the search was cut
+		// short, so unsatisfiability was not established.
+		s.ticks++
+		if s.Cancel != nil && s.ticks&255 == 0 && s.Cancel() {
+			s.err = ErrCanceled
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.conflicts++
@@ -516,12 +576,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.MaxConflicts > 0 && conflictsHere > s.MaxConflicts {
 			return Unknown
 		}
-		if s.Cancel != nil && s.conflicts%64 == 0 && s.Cancel() {
-			s.err = ErrCanceled
-			return Unknown
-		}
 		if conflictsHere > conflictBudget*restarts {
 			restarts++
+			s.restartsN++
 			conflictBudget = luby(restarts) * 100
 			s.backtrackTo(s.assumptionLevel(assumptions))
 		}

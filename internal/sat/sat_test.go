@@ -290,6 +290,72 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelNeverReportsUnsat(t *testing.T) {
+	// PHP(10,9) is far too hard to refute within the first few hundred
+	// search steps, so an immediate cancel must surface as an interrupt
+	// (Unknown + ErrCanceled) — reporting Unsat here would be a soundness
+	// bug: the search was cut short before unsatisfiability was established.
+	s := New()
+	pigeonhole(s, 10, 9)
+	s.Cancel = func() bool { return true }
+	got := s.Solve()
+	if got != Unknown {
+		t.Fatalf("canceled solve returned %v, want unknown", got)
+	}
+	if s.Err() != ErrCanceled {
+		t.Fatalf("err=%v want ErrCanceled", s.Err())
+	}
+	// Clearing the cancel hook must let the same solver finish for real.
+	s.Cancel = nil
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("uncanceled re-solve returned %v, want unsat", got)
+	}
+}
+
+func TestCancelDuringDecisionStretch(t *testing.T) {
+	// A clause-free instance produces zero conflicts, so a poll keyed to the
+	// conflict counter would never fire. The tick-based poll must abort the
+	// pure-decision stretch anyway.
+	s := New()
+	for i := 0; i < 100000; i++ {
+		s.NewVar()
+	}
+	s.Cancel = func() bool { return true }
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("status=%v want unknown", got)
+	}
+	if s.Err() != ErrCanceled {
+		t.Fatalf("err=%v want ErrCanceled", s.Err())
+	}
+}
+
+func TestMetricsAdvanceAndAccumulate(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	before := s.Metrics()
+	if before.Clauses == 0 || before.Vars == 0 {
+		t.Fatalf("encoding metrics look dead: %+v", before)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(6,5) must be unsat")
+	}
+	m := s.Metrics()
+	if m.Decisions == 0 || m.Propagations == 0 || m.Conflicts == 0 ||
+		m.LearnedClauses == 0 || m.LearnedLiterals == 0 {
+		t.Errorf("search metrics look dead: %+v", m)
+	}
+	if m.Decisions < before.Decisions || m.Propagations < before.Propagations ||
+		m.Conflicts < before.Conflicts || m.Clauses < before.Clauses {
+		t.Errorf("metrics must be monotone: before=%+v after=%+v", before, m)
+	}
+	var sum Metrics
+	sum.Add(before)
+	sum.Add(m)
+	if sum.Conflicts != before.Conflicts+m.Conflicts || sum.Vars != before.Vars+m.Vars {
+		t.Errorf("Add mis-accumulates: %+v", sum)
+	}
+}
+
 func TestMaxConflicts(t *testing.T) {
 	s := New()
 	pigeonhole(s, 10, 9)

@@ -1,0 +1,50 @@
+package tables
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"parserhawk/internal/core"
+)
+
+// RunStats is the machine-readable record of one ParserHawk compilation in
+// a harness run: which benchmark on which target in which mode, the
+// outcome, and the full solver-level statistics (core.Stats including the
+// CDCL/bit-blasting counters and the per-iteration trace). hawkbench
+// -stats emits a JSON array of these, one element per compilation.
+type RunStats struct {
+	Program string  `json:"program"`
+	Target  string  `json:"target"`
+	Mode    string  `json:"mode"` // "opt" or "orig"
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+	Entries int     `json:"entries"`
+	Stages  int     `json:"stages"`
+	Seconds float64 `json:"seconds"`
+
+	Stats core.Stats `json:"stats"`
+}
+
+// EncodeRunStats serializes a harness run's per-compilation records as
+// indented JSON, the hawkbench -stats output format.
+func EncodeRunStats(runs []RunStats) ([]byte, error) {
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("tables: encoding run stats: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeRunStats reverses EncodeRunStats. Unknown fields are rejected so
+// schema drift between a producer and a consumer fails loudly instead of
+// silently dropping counters.
+func DecodeRunStats(data []byte) ([]RunStats, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var runs []RunStats
+	if err := dec.Decode(&runs); err != nil {
+		return nil, fmt.Errorf("tables: decoding run stats: %w", err)
+	}
+	return runs, nil
+}

@@ -64,6 +64,17 @@ type Config struct {
 	RunOrig bool
 	// Filter restricts benchmarks to those whose name contains the string.
 	Filter string
+	// StatsSink, when non-nil, receives one RunStats record per ParserHawk
+	// compilation the harness performs (both opt and orig modes). hawkbench
+	// -stats uses it to collect the solver-level JSON report.
+	StatsSink func(RunStats)
+}
+
+// record reports one compilation into the sink, if any.
+func (c Config) record(r RunStats) {
+	if c.StatsSink != nil {
+		c.StatsSink(r)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -124,21 +135,39 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	t0 := time.Now()
 	res, err := core.Compile(b.Spec, profile, opts)
 	out := TargetResult{OptSeconds: time.Since(t0).Seconds()}
+	rec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "opt", Seconds: out.OptSeconds}
 	if err != nil {
 		out.Err = err.Error()
+		rec.Error = out.Err
+		cfg.record(rec)
 		return out
 	}
 	out.Entries = res.Resources.Entries
 	out.Stages = res.Resources.Stages
 	out.SearchBits = res.Stats.SearchSpaceBits
+	rec.OK = true
+	rec.Entries = out.Entries
+	rec.Stages = out.Stages
+	rec.Stats = res.Stats
+	cfg.record(rec)
 
 	if cfg.RunOrig {
 		naive := core.NaiveOptions()
 		naive.Timeout = cfg.OrigTimeout
 		naive.MaxIterations = b.MaxIterations
 		t1 := time.Now()
-		_, nerr := core.Compile(b.Spec, profile, naive)
+		nres, nerr := core.Compile(b.Spec, profile, naive)
 		out.OrigSeconds = time.Since(t1).Seconds()
+		nrec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "orig", Seconds: out.OrigSeconds}
+		if nerr != nil {
+			nrec.Error = nerr.Error()
+		} else {
+			nrec.OK = true
+			nrec.Entries = nres.Resources.Entries
+			nrec.Stages = nres.Resources.Stages
+			nrec.Stats = nres.Stats
+		}
+		cfg.record(nrec)
 		if nerr == core.ErrTimeout {
 			out.OrigTimeout = true
 			out.OrigSeconds = cfg.OrigTimeout.Seconds()

@@ -25,6 +25,7 @@
 package parserhawk
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -57,6 +58,13 @@ type Result = core.Result
 
 // Stats reports how a compilation went.
 type Stats = core.Stats
+
+// SolverStats aggregates CDCL and bit-blasting counters over every solver
+// instance a compilation ran, including racing attempts that lost.
+type SolverStats = core.SolverStats
+
+// IterationStats is one CEGIS iteration of the winning budget runner.
+type IterationStats = core.IterationStats
 
 // Bits is a wire-order bit string; Dict maps field names to parsed values.
 type (
@@ -111,6 +119,15 @@ func ParseSpecFile(path string) (*Spec, error) {
 // post-synthesis optimization, and device validation.
 func Compile(spec *Spec, target Profile, opts Options) (*Result, error) {
 	return core.Compile(spec, target, opts)
+}
+
+// CompileContext is Compile under a caller-supplied context. Cancellation
+// propagates down to in-flight SAT solves and verification sweeps, so
+// canceling ctx aborts the search promptly instead of waiting for the
+// current solver call to finish. Options.Timeout, when set, applies as a
+// deadline on top of ctx.
+func CompileContext(ctx context.Context, spec *Spec, target Profile, opts Options) (*Result, error) {
+	return core.CompileContext(ctx, spec, target, opts)
 }
 
 // CompileSource parses and compiles in one step.
