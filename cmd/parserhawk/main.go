@@ -7,9 +7,13 @@
 //	parserhawk -target ipu     parser.p4
 //	parserhawk -target custom -key 4 -lookahead 8 -extract 16 parser.p4
 //	parserhawk -naive -timeout 30s parser.p4      # the paper's Orig mode
+//	parserhawk -lint parser.p4                    # static analysis only
+//	parserhawk -lint -json parser.p4              # diagnostics as JSON
 //
 // The compiled TCAM entries, resource usage, and synthesis statistics are
-// printed to stdout.
+// printed to stdout. With -lint no synthesis runs: the SpecLint
+// diagnostics (codes PH001–PH007) are printed instead, and the exit
+// status is 1 exactly when an error-severity diagnostic is present.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		emitJSON  = flag.Bool("json", false, "emit the compiled program as deployment JSON")
 		stats     = flag.Bool("stats", false, "emit solver-level synthesis statistics as JSON")
 		emitP4    = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
+		lintOnly  = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -68,6 +73,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *lintOnly {
+		runLint(spec, profile, *emitJSON)
+		return
 	}
 
 	if *emitP4 {
@@ -132,5 +142,48 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("verification:      %s\n", rep)
+	}
+}
+
+// runLint prints the SpecLint report for one spec — one line per
+// diagnostic plus a severity summary, or a JSON array with -json — and
+// exits 1 exactly when an error-severity diagnostic is present.
+func runLint(spec *parserhawk.Spec, profile parserhawk.Profile, asJSON bool) {
+	diags := parserhawk.LintFor(spec, profile)
+	hasErrors := false
+	for _, d := range diags {
+		if d.Severity == parserhawk.SeverityError {
+			hasErrors = true
+		}
+	}
+	if asJSON {
+		if diags == nil {
+			diags = []parserhawk.Diag{} // emit [], not null
+		}
+		data, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", spec.Name, d)
+		}
+		errs, warns, infos := 0, 0, 0
+		for _, d := range diags {
+			switch d.Severity {
+			case parserhawk.SeverityError:
+				errs++
+			case parserhawk.SeverityWarning:
+				warns++
+			default:
+				infos++
+			}
+		}
+		fmt.Printf("%s: %d error(s), %d warning(s), %d note(s)\n", spec.Name, errs, warns, infos)
+	}
+	if hasErrors {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,47 @@
+// SpecLint demo: a spec that compiles — none of the defects are
+// error-severity — but carries one of each prunable smell:
+//
+//   PH002 shadowed-rule      the second 0x0800 arm can never be the first
+//                            match (SAT-proved), so it is pruned;
+//   PH003 dead-default       parse_ver's two arms cover the whole 1-bit
+//                            key, so its default is unreachable;
+//   PH001 unreachable-state  parse_legacy is only reachable through the
+//                            shadowed arm, so after rule pruning it is
+//                            orphaned and pruned too.
+//
+//   go run ./cmd/parserhawk -lint examples/lint/shadowed.p4
+//
+header ethernet {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}
+header flag {
+    bit<1> v6;
+    bit<7> rsvd;
+}
+header legacy {
+    bit<8> kind;
+}
+parser LintDemo {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etherType) {
+            0x0800  : parse_ver;
+            0x0800  : parse_legacy;
+            default : accept;
+        }
+    }
+    state parse_ver {
+        extract(flag);
+        transition select(flag.v6) {
+            0       : accept;
+            1       : accept;
+            default : reject;
+        }
+    }
+    state parse_legacy {
+        extract(legacy);
+        transition accept;
+    }
+}

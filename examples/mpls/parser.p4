@@ -1,0 +1,35 @@
+// MPLS label-stack parser: Ethernet -> MPLS loop until bottom-of-stack.
+// A clean loopy spec: every loop iteration consumes a full 32-bit label,
+// so SpecLint stays silent on single-table targets and only notes the
+// bounded unrolling on pipelined ones.
+//
+//   go run ./cmd/parserhawk -target tofino examples/mpls/parser.p4
+//   go run ./cmd/parserhawk -lint examples/mpls/parser.p4
+//
+header ethernet {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etherType;
+}
+header mpls {
+    bit<20> label;
+    bit<3>  exp;
+    bit<1>  bos;
+    bit<8>  ttl;
+}
+parser MPLS {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etherType) {
+            0x8847  : parse_mpls;
+            default : accept;
+        }
+    }
+    state parse_mpls {
+        extract(mpls);
+        transition select(mpls.bos) {
+            0       : parse_mpls;
+            default : accept;
+        }
+    }
+}

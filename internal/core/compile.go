@@ -11,6 +11,7 @@ import (
 	"parserhawk/internal/bitstream"
 	"parserhawk/internal/bv"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/lint"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/sat"
 	"parserhawk/internal/tcam"
@@ -32,6 +33,25 @@ var ErrTimeout = errors.New("core: compilation timed out")
 // entry budget without finding an implementation within the device's
 // resources.
 var ErrNoSolution = errors.New("core: no implementation fits the device resources")
+
+// LintError is the diagnostics-bearing rejection returned when SpecLint
+// finds error-severity defects. All diagnostics — not just the errors —
+// are attached so the caller can render the full report.
+type LintError struct {
+	Spec  string      // specification name
+	Diags []lint.Diag // every diagnostic from the failed run, sorted
+}
+
+func (e *LintError) Error() string {
+	errs, warns, _ := lint.Counts(e.Diags)
+	msg := fmt.Sprintf("core: spec %q rejected by lint: %d error(s), %d warning(s)", e.Spec, errs, warns)
+	for _, d := range e.Diags {
+		if d.Severity == lint.Error {
+			msg += "\n  " + d.String()
+		}
+	}
+	return msg
+}
 
 // errCanceled marks a skeleton attempt or budget rung that was cut short by
 // cancellation — either the compilation deadline or a sibling winning the
@@ -63,6 +83,32 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, start.Add(opts.Timeout))
 		defer cancel()
+	}
+
+	// SpecLint pre-pass (Figure 8's analysis stage made checkable): reject
+	// error-severity specs before any solving starts, then prune what the
+	// analyzer proved dead — unreachable states and SAT-certified shadowed
+	// rules — shrinking the symbolic FSM every CEGIS query must match.
+	// Pruning is sound: the pruned spec is observationally equivalent to the
+	// original on every input (see lint.Prune), so the verifier's contract
+	// is unchanged.
+	var lintStats LintStats
+	if !opts.SkipLint {
+		diags := lint.Run(spec, &profile)
+		if lint.HasErrors(diags) {
+			return nil, &LintError{Spec: spec.Name, Diags: diags}
+		}
+		errs, warns, infos := lint.Counts(diags)
+		lintStats = LintStats{Errors: errs, Warnings: warns, Infos: infos}
+		// Prune to a fixpoint: removing a shadowed rule can orphan the state
+		// it targeted, which the next round then removes.
+		pruned, pst := lint.Prune(spec, diags)
+		lintStats.StatesBefore, lintStats.RulesBefore = pst.StatesBefore, pst.RulesBefore
+		for pruned != spec {
+			spec = pruned
+			pruned, pst = lint.Prune(spec, lint.Run(spec, &profile))
+		}
+		lintStats.StatesAfter, lintStats.RulesAfter = pst.StatesAfter, pst.RulesAfter
 	}
 
 	// Loopy specs on pipelined devices are bounded by unrolling; the
@@ -205,6 +251,7 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 	best.Stats.SkeletonsTried = stats.SkeletonsTried
 	best.Stats.SearchSpaceBits = stats.SearchSpaceBits
 	best.Stats.Solver = stats.Solver
+	best.Stats.Lint = lintStats
 	best.Stats.Elapsed = time.Since(start)
 	return best, nil
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/lint"
+	"parserhawk/internal/pir"
+)
+
+// Compile rejects error-severity specs with a diagnostics-bearing error
+// before any solving starts.
+func TestCompileRejectsLintErrors(t *testing.T) {
+	// PH005 error: the varbit length field is never extracted.
+	spec := pir.MustNew("badvar", []pir.Field{
+		{Name: "len", Width: 2},
+		{Name: "opts", Width: 8, Var: true},
+	}, []pir.State{
+		{Name: "start",
+			Extracts: []pir.Extract{{Field: "opts", LenField: "len", LenScale: 2}},
+			Default:  pir.AcceptTarget},
+	})
+	_, err := Compile(spec, hw.Tofino(), DefaultOptions())
+	var lerr *LintError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("want *LintError, got %v", err)
+	}
+	if lerr.Spec != "badvar" || !lint.HasErrors(lerr.Diags) {
+		t.Errorf("LintError payload wrong: %+v", lerr)
+	}
+	if !strings.Contains(lerr.Error(), "PH005") {
+		t.Errorf("message should cite the failing code: %s", lerr.Error())
+	}
+}
+
+// A prunable spec compiles with the lint summary and the pre/post-prune
+// sizes recorded in Stats; the same spec under SkipLint records nothing.
+func TestCompileRecordsLintStats(t *testing.T) {
+	spec := pir.MustNew("dup", []pir.Field{{Name: "k", Width: 2}}, []pir.State{
+		{Name: "start", Extracts: []pir.Extract{{Field: "k"}},
+			Key: []pir.KeyPart{pir.WholeField("k", 2)},
+			Rules: []pir.Rule{
+				pir.ExactRule(1, 2, pir.AcceptTarget),
+				pir.ExactRule(1, 2, pir.RejectTarget), // shadowed
+			},
+			Default: pir.RejectTarget},
+	})
+	res, err := Compile(spec, hw.Tofino(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Stats.Lint
+	if got.Warnings == 0 || got.RulesBefore != 2 || got.RulesAfter != 1 || got.StatesBefore != 1 {
+		t.Errorf("lint stats wrong: %+v", got)
+	}
+
+	opts := DefaultOptions()
+	opts.SkipLint = true
+	res2, err := Compile(spec, hw.Tofino(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Lint != (LintStats{}) {
+		t.Errorf("SkipLint must record no lint stats: %+v", res2.Stats.Lint)
+	}
+	if res.Resources.Entries > res2.Resources.Entries {
+		t.Errorf("pruning cost entries: %d vs %d", res.Resources.Entries, res2.Resources.Entries)
+	}
+}

@@ -65,6 +65,13 @@ type Options struct {
 	// Workers bounds Opt7's parallel subproblems. Zero means GOMAXPROCS.
 	Workers int
 
+	// SkipLint disables the SpecLint pre-pass: no diagnostics, no
+	// error-severity rejection, and no pruning of unreachable states or
+	// SAT-proved shadowed rules. The naive mode sets it — the paper's Orig
+	// rows measure the plain encoding without any spec analysis — and tests
+	// use it to compare pruned against unpruned compilations.
+	SkipLint bool
+
 	// ExhaustPortfolio disables early termination of the skeleton
 	// portfolio: every structural subproblem runs to completion even after
 	// a sibling has produced a provably-cheapest result (one at the
@@ -102,7 +109,24 @@ func NaiveOptions() Options {
 		ExhaustiveVerifyBits: 16,
 		VerifySamples:        2000,
 		Seed:                 1,
+		SkipLint:             true,
 	}
+}
+
+// LintStats summarizes the SpecLint pre-pass of one compilation: the
+// diagnostic tallies and how much specification the analyzer proved dead
+// and pruned before skeleton enumeration.
+type LintStats struct {
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+
+	// Pre/post-prune specification size. Equal when nothing was prunable;
+	// zero throughout when linting was skipped.
+	StatesBefore int `json:"states_before"`
+	StatesAfter  int `json:"states_after"`
+	RulesBefore  int `json:"rules_before"`
+	RulesAfter   int `json:"rules_after"`
 }
 
 // Stats reports how a compilation went; the evaluation tables are built
@@ -118,6 +142,11 @@ type Stats struct {
 	SynthesisTime   time.Duration `json:"synthesis_time"`
 	VerifyTime      time.Duration `json:"verify_time"`
 	TestCases       int           `json:"test_cases"` // final size of the CEGIS example set
+
+	// Lint reports the SpecLint pre-pass: diagnostic counts and the
+	// specification shrink achieved by pruning unreachable states and
+	// SAT-proved shadowed rules.
+	Lint LintStats `json:"lint"`
 
 	// Solver aggregates the CDCL/bit-blasting counters over every solver
 	// instance the compilation ran — including skeleton attempts and budget

@@ -68,6 +68,21 @@ type Profile struct {
 // AllowLoops reports whether the architecture permits revisiting entries.
 func (p Profile) AllowLoops() bool { return p.Arch == SingleTable }
 
+// KeySplitStates returns how many chained TCAM lookups a transition key of
+// w bits needs on this device: ⌈w/KeyLimit⌉, minimum one. The static
+// analyzer uses it to quantify the cost of over-wide spec keys (PH006).
+func (p Profile) KeySplitStates(w int) int {
+	if p.KeyLimit <= 0 || w <= p.KeyLimit {
+		return 1
+	}
+	return (w + p.KeyLimit - 1) / p.KeyLimit
+}
+
+// FitsLookahead reports whether a key that peeks reach bits past the
+// cursor can be matched directly in one lookup. Beyond the window the
+// compiler must defer the match past extraction (an extra state).
+func (p Profile) FitsLookahead(reach int) bool { return reach <= p.LookaheadLimit }
+
 // Tofino returns the profile used for the Barefoot Tofino experiments:
 // a single loop-capable TCAM table with a generous entry budget.
 func Tofino() Profile {

@@ -1,0 +1,226 @@
+// Package lint is SpecLint: a multi-pass static analyzer over parser
+// specifications (pir.Spec) that runs before synthesis.
+//
+// Each pass emits structured diagnostics with stable codes:
+//
+//	PH001 unreachable-state  — no path from the start state reaches it
+//	PH002 shadowed-rule      — earlier rules cover the rule's match set
+//	PH003 dead-default       — the rules cover the whole key space
+//	PH004 width-mismatch     — rule value/mask bits outside the key width
+//	PH005 extract-overrun    — a key or varbit length reads un-extracted data
+//	PH006 key-exceeds-tcam   — per-state key demands exceed the device TCAM
+//	PH007 unbounded-loop     — a cycle can iterate without consuming input
+//
+// The cheap passes (PH001, PH004, PH005, PH006, PH007) use graph traversal
+// and interval arithmetic. The shadowed-rule and dead-default passes are
+// exact: each verdict is discharged as a per-state SAT query through the
+// internal/bv bit-blasting stack — a rule is shadowed iff its match set
+// minus the earlier rules' match sets is unsatisfiable — so PH002/PH003
+// diagnostics are proofs, not heuristics.
+//
+// Diagnostics feed back into compilation: core.Compile rejects
+// error-severity specs before any solving starts and prunes unreachable
+// states and proven-shadowed rules (Prune), shrinking the symbolic FSM the
+// CEGIS loop must match.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+// Code is a stable diagnostic identifier (PH001–PH007).
+type Code string
+
+// Diagnostic codes. The catalogue is append-only: codes keep their meaning
+// across releases so CI gates and tooling can match on them.
+const (
+	CodeUnreachableState Code = "PH001" // unreachable-state
+	CodeShadowedRule     Code = "PH002" // shadowed-rule (SAT-certified)
+	CodeDeadDefault      Code = "PH003" // dead-default (SAT-certified)
+	CodeWidthMismatch    Code = "PH004" // width-mismatch
+	CodeExtractOverrun   Code = "PH005" // extract-overrun
+	CodeKeyExceedsTCAM   Code = "PH006" // key-exceeds-tcam
+	CodeUnboundedLoop    Code = "PH007" // unbounded-loop
+)
+
+// Name returns the human-readable slug of a code.
+func (c Code) Name() string {
+	switch c {
+	case CodeUnreachableState:
+		return "unreachable-state"
+	case CodeShadowedRule:
+		return "shadowed-rule"
+	case CodeDeadDefault:
+		return "dead-default"
+	case CodeWidthMismatch:
+		return "width-mismatch"
+	case CodeExtractOverrun:
+		return "extract-overrun"
+	case CodeKeyExceedsTCAM:
+		return "key-exceeds-tcam"
+	case CodeUnboundedLoop:
+		return "unbounded-loop"
+	}
+	return "unknown"
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severity levels. Error-severity diagnostics make core.Compile reject the
+// specification; warnings and infos never block compilation.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the lowercase severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"error"`:
+		*s = Error
+	case `"warning"`:
+		*s = Warning
+	case `"info"`:
+		*s = Info
+	default:
+		return fmt.Errorf("lint: unknown severity %s", data)
+	}
+	return nil
+}
+
+// Diag is one structured diagnostic. State is the state's name ("" for
+// spec-level diagnostics) and Rule the rule index within the state (-1 when
+// the diagnostic is not rule-scoped).
+type Diag struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	State    string   `json:"state,omitempty"`
+	Rule     int      `json:"rule"`
+	Msg      string   `json:"msg"`
+}
+
+func (d Diag) String() string {
+	loc := ""
+	if d.State != "" {
+		loc = fmt.Sprintf(` state %q`, d.State)
+		if d.Rule >= 0 {
+			loc += fmt.Sprintf(" rule %d", d.Rule)
+		}
+	}
+	return fmt.Sprintf("%s %s:%s %s", d.Code, d.Severity, loc, d.Msg)
+}
+
+// Counts tallies the diagnostics by severity.
+func Counts(diags []Diag) (errors, warnings, infos int) {
+	for _, d := range diags {
+		switch d.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diag) bool {
+	e, _, _ := Counts(diags)
+	return e > 0
+}
+
+// Run executes every analysis pass over the specification and returns the
+// diagnostics sorted by state, rule, and code. profile, when non-nil, adds
+// the device-feasibility passes (PH006 and the pipelined-loop note of
+// PH007); the semantic passes are device-independent.
+//
+// Pass ordering: reachability runs first because the exact SAT passes and
+// the dataflow passes analyze only reachable states — an unreachable state
+// is reported once as PH001 and pruned wholesale, not re-diagnosed
+// rule-by-rule.
+func Run(spec *pir.Spec, profile *hw.Profile) []Diag {
+	a := &analysis{spec: spec, profile: profile, reach: spec.Reachable()}
+	a.passReachability() // PH001
+	a.passWidths()       // PH004 (also computes never-match rules for PH002's model)
+	a.passDataflow()     // PH005
+	a.passSAT()          // PH002, PH003
+	a.passFeasibility()  // PH006
+	a.passLoops()        // PH007
+	a.sort()
+	return a.diags
+}
+
+// analysis carries the shared state of one Run.
+type analysis struct {
+	spec    *pir.Spec
+	profile *hw.Profile
+	reach   []bool
+	// neverMatch[si][ri] marks rules PH004 proved can never fire (value and
+	// mask demand a bit above the key width). The SAT pass folds these to
+	// constant false and skips re-reporting them as shadowed.
+	neverMatch map[[2]int]bool
+	diags      []Diag
+}
+
+func (a *analysis) report(code Code, sev Severity, state string, rule int, format string, args ...any) {
+	a.diags = append(a.diags, Diag{
+		Code:     code,
+		Severity: sev,
+		State:    state,
+		Rule:     rule,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// sort orders diagnostics by state index (spec-level first), then rule,
+// then code, so output is deterministic and follows the spec's layout.
+func (a *analysis) sort() {
+	idx := func(name string) int {
+		if name == "" {
+			return -1
+		}
+		return a.spec.StateIndex(name)
+	}
+	sort.SliceStable(a.diags, func(i, j int) bool {
+		di, dj := a.diags[i], a.diags[j]
+		si, sj := idx(di.State), idx(dj.State)
+		if si != sj {
+			return si < sj
+		}
+		if di.Rule != dj.Rule {
+			return di.Rule < dj.Rule
+		}
+		return di.Code < dj.Code
+	})
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

@@ -1,0 +1,391 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+// loc is the (code, state, rule) location of an expected diagnostic.
+type loc struct {
+	code  Code
+	sev   Severity
+	state string
+	rule  int
+}
+
+func locsOf(diags []Diag) []loc {
+	out := make([]loc, len(diags))
+	for i, d := range diags {
+		out[i] = loc{d.Code, d.Severity, d.State, d.Rule}
+	}
+	return out
+}
+
+func assertDiags(t *testing.T, diags []Diag, want []loc) {
+	t.Helper()
+	got := locsOf(diags)
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n got: %+v\nwant: %+v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d: got %+v, want %+v (msg: %s)", i, got[i], want[i], diags[i].Msg)
+		}
+	}
+}
+
+// Narrow profile used by the PH006 fixtures.
+func narrowProfile() hw.Profile {
+	p := hw.Parameterized(4, 2, 64)
+	p.Name = "narrow"
+	return p
+}
+
+// TestSeededDefects drives every diagnostic code with a fixture spec
+// carrying exactly that defect, asserting the exact code, state, and rule
+// location — and pairs each with a clean spec that stays silent.
+func TestSeededDefects(t *testing.T) {
+	f4 := []pir.Field{{Name: "k", Width: 4}}
+	key4 := []pir.KeyPart{pir.WholeField("k", 4)}
+	ext := []pir.Extract{{Field: "k"}}
+
+	tests := []struct {
+		name    string
+		spec    *pir.Spec
+		profile *hw.Profile
+		want    []loc
+	}{
+		{
+			name: "PH001 unreachable state",
+			spec: pir.MustNew("ph001", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules:   []pir.Rule{pir.ExactRule(1, 4, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+				{Name: "orphan", Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeUnreachableState, Warning, "orphan", -1}},
+		},
+		{
+			name: "PH001 clean: every state referenced",
+			spec: pir.MustNew("ph001c", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules:   []pir.Rule{pir.ExactRule(1, 4, pir.To(1))},
+					Default: pir.RejectTarget},
+				{Name: "leaf", Default: pir.AcceptTarget},
+			}),
+			want: nil,
+		},
+		{
+			name: "PH002 duplicate rule shadowed",
+			spec: pir.MustNew("ph002", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						pir.ExactRule(3, 4, pir.AcceptTarget),
+						pir.ExactRule(3, 4, pir.RejectTarget), // same pattern, dead
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeShadowedRule, Warning, "start", 1}},
+		},
+		{
+			name: "PH002 masked superset shadows",
+			spec: pir.MustNew("ph002m", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						{Value: 0x8, Mask: 0x8, Next: pir.AcceptTarget}, // top bit set
+						pir.ExactRule(0xC, 4, pir.RejectTarget),         // ⊆ rule 0
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeShadowedRule, Warning, "start", 1}},
+		},
+		{
+			name: "PH002 union shadows (no single earlier rule covers)",
+			spec: pir.MustNew("ph002u", []pir.Field{{Name: "k", Width: 1}}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "k"}},
+					Key: []pir.KeyPart{pir.WholeField("k", 1)},
+					Rules: []pir.Rule{
+						pir.ExactRule(0, 1, pir.AcceptTarget),
+						pir.ExactRule(1, 1, pir.AcceptTarget),
+						{Value: 0, Mask: 0, Next: pir.RejectTarget}, // covered by 0 ∪ 1
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{
+				{CodeDeadDefault, Warning, "start", -1}, // rules cover the 1-bit space
+				{CodeShadowedRule, Warning, "start", 2},
+			},
+		},
+		{
+			name: "PH002 clean: overlapping but not covered",
+			spec: pir.MustNew("ph002c", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						pir.ExactRule(3, 4, pir.AcceptTarget),
+						{Value: 0x3, Mask: 0x3, Next: pir.RejectTarget}, // still matches e.g. 0x7
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: nil,
+		},
+		{
+			name: "PH003 rules cover the key space",
+			spec: pir.MustNew("ph003", []pir.Field{{Name: "b", Width: 2}}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "b"}},
+					Key: []pir.KeyPart{pir.WholeField("b", 2)},
+					Rules: []pir.Rule{
+						{Value: 0, Mask: 0x2, Next: pir.AcceptTarget}, // high bit 0
+						{Value: 2, Mask: 0x2, Next: pir.To(1)},        // high bit 1
+					},
+					Default: pir.RejectTarget},
+				{Name: "leaf", Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeDeadDefault, Warning, "start", -1}},
+		},
+		{
+			name: "PH003 clean: a key value falls through",
+			spec: pir.MustNew("ph003c", []pir.Field{{Name: "b", Width: 2}}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "b"}},
+					Key: []pir.KeyPart{pir.WholeField("b", 2)},
+					Rules: []pir.Rule{
+						pir.ExactRule(0, 2, pir.AcceptTarget),
+						pir.ExactRule(1, 2, pir.AcceptTarget),
+						pir.ExactRule(2, 2, pir.AcceptTarget),
+					},
+					Default: pir.RejectTarget}, // value 3 reaches it
+			}),
+			want: nil,
+		},
+		{
+			name: "PH004 value above key width can never match",
+			spec: pir.MustNew("ph004", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						{Value: 0x10, Mask: 0x1F, Next: pir.AcceptTarget}, // bit 4 of a 4-bit key
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeWidthMismatch, Error, "start", 0}},
+		},
+		{
+			name: "PH004 mask above key width is ignored",
+			spec: pir.MustNew("ph004m", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						{Value: 0x03, Mask: 0x13, Next: pir.AcceptTarget}, // mask bit 4 inspects nothing
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeWidthMismatch, Warning, "start", 0}},
+		},
+		{
+			name: "PH004 value bits outside the mask",
+			spec: pir.MustNew("ph004v", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules: []pir.Rule{
+						{Value: 0x7, Mask: 0x4, Next: pir.AcceptTarget}, // low value bits unused
+					},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeWidthMismatch, Warning, "start", 0}},
+		},
+		{
+			name: "PH004 clean: exact full-width rule",
+			spec: pir.MustNew("ph004c", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules:   []pir.Rule{pir.ExactRule(0xF, 4, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+			}),
+			want: nil,
+		},
+		{
+			name: "PH005 varbit length never extracted",
+			spec: pir.MustNew("ph005", []pir.Field{
+				{Name: "len", Width: 2},
+				{Name: "opts", Width: 8, Var: true},
+			}, []pir.State{
+				{Name: "start",
+					Extracts: []pir.Extract{{Field: "opts", LenField: "len", LenScale: 2}},
+					Default:  pir.AcceptTarget},
+			}),
+			want: []loc{{CodeExtractOverrun, Error, "start", -1}},
+		},
+		{
+			name: "PH005 key on never-extracted field",
+			spec: pir.MustNew("ph005k", []pir.Field{
+				{Name: "a", Width: 2},
+				{Name: "ghost", Width: 3},
+			}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "a"}},
+					Key:     []pir.KeyPart{pir.WholeField("ghost", 3)}, // always zero
+					Rules:   []pir.Rule{pir.ExactRule(1, 3, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+			}),
+			want: []loc{{CodeExtractOverrun, Warning, "start", -1}},
+		},
+		{
+			name: "PH005 clean: length extracted in order, key on own field",
+			spec: pir.MustNew("ph005c", []pir.Field{
+				{Name: "len", Width: 2},
+				{Name: "opts", Width: 8, Var: true},
+			}, []pir.State{
+				{Name: "start",
+					Extracts: []pir.Extract{
+						{Field: "len"},
+						{Field: "opts", LenField: "len", LenScale: 2},
+					},
+					Key:     []pir.KeyPart{pir.WholeField("len", 2)},
+					Rules:   []pir.Rule{pir.ExactRule(1, 2, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+			}),
+			want: nil,
+		},
+		{
+			name:    "PH006 key wider than the device limit",
+			profile: ptr(narrowProfile()),
+			spec: pir.MustNew("ph006", []pir.Field{{Name: "wide", Width: 10}}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "wide"}},
+					Key:     []pir.KeyPart{pir.WholeField("wide", 10)}, // limit is 4
+					Rules:   []pir.Rule{pir.ExactRule(5, 10, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+			}),
+			want: []loc{{CodeKeyExceedsTCAM, Warning, "start", -1}},
+		},
+		{
+			name:    "PH006 lookahead beyond the device window",
+			profile: ptr(narrowProfile()),
+			spec: pir.MustNew("ph006l", []pir.Field{{Name: "pay", Width: 4}}, []pir.State{
+				{Name: "start",
+					Key:     []pir.KeyPart{pir.LookaheadBits(2, 2)}, // reach 4 > window 2
+					Rules:   []pir.Rule{pir.ExactRule(1, 2, pir.To(1))},
+					Default: pir.AcceptTarget},
+				{Name: "body", Extracts: []pir.Extract{{Field: "pay"}}, Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeKeyExceedsTCAM, Warning, "start", -1}},
+		},
+		{
+			name:    "PH006 clean: key fits",
+			profile: ptr(narrowProfile()),
+			spec: pir.MustNew("ph006c", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules:   []pir.Rule{pir.ExactRule(1, 4, pir.AcceptTarget)},
+					Default: pir.RejectTarget},
+			}),
+			want: nil,
+		},
+		{
+			name: "PH007 zero-progress self-loop",
+			spec: pir.MustNew("ph007", f4, []pir.State{
+				{Name: "start", Extracts: ext, Key: key4,
+					Rules:   []pir.Rule{pir.ExactRule(0, 4, pir.To(1))},
+					Default: pir.AcceptTarget},
+				{Name: "spin", // extracts nothing, keys on the old value
+					Key:     key4,
+					Rules:   []pir.Rule{pir.ExactRule(0, 4, pir.To(1))},
+					Default: pir.AcceptTarget},
+			}),
+			want: []loc{{CodeUnboundedLoop, Warning, "spin", -1}},
+		},
+		{
+			name: "PH007 clean: loop consumes bits each iteration",
+			spec: pir.MustNew("ph007c", []pir.Field{{Name: "mpls", Width: 4}}, []pir.State{
+				{Name: "start", Extracts: []pir.Extract{{Field: "mpls"}},
+					Key:     []pir.KeyPart{pir.FieldSlice("mpls", 3, 4)},
+					Rules:   []pir.Rule{pir.ExactRule(0, 1, pir.To(0))},
+					Default: pir.AcceptTarget},
+			}),
+			want: nil,
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			assertDiags(t, Run(tc.spec, tc.profile), tc.want)
+		})
+	}
+}
+
+func ptr(p hw.Profile) *hw.Profile { return &p }
+
+// TestPipelinedLoopNote: a loopy spec compiled for a forward-only device
+// carries the PH007 info note about bounded unrolling.
+func TestPipelinedLoopNote(t *testing.T) {
+	spec := pir.MustNew("mpls", []pir.Field{{Name: "l", Width: 4}}, []pir.State{
+		{Name: "start", Extracts: []pir.Extract{{Field: "l"}},
+			Key:     []pir.KeyPart{pir.FieldSlice("l", 3, 4)},
+			Rules:   []pir.Rule{pir.ExactRule(0, 1, pir.To(0))},
+			Default: pir.AcceptTarget},
+	})
+	ipu := hw.IPU()
+	diags := Run(spec, &ipu)
+	want := []loc{{CodeUnboundedLoop, Info, "", -1}}
+	assertDiags(t, diags, want)
+	tof := hw.Tofino()
+	if ds := Run(spec, &tof); len(ds) != 0 {
+		t.Errorf("loop-capable device must not warn: %v", ds)
+	}
+}
+
+// TestPruneRemovesFlaggedParts: pruning removes exactly the unreachable
+// states and shadowed rules, remapping transition targets.
+func TestPruneRemovesFlaggedParts(t *testing.T) {
+	spec := pir.MustNew("p", []pir.Field{{Name: "k", Width: 2}}, []pir.State{
+		{Name: "start", Extracts: []pir.Extract{{Field: "k"}},
+			Key: []pir.KeyPart{pir.WholeField("k", 2)},
+			Rules: []pir.Rule{
+				pir.ExactRule(1, 2, pir.To(2)),
+				pir.ExactRule(1, 2, pir.RejectTarget), // shadowed
+			},
+			Default: pir.AcceptTarget},
+		{Name: "orphan", Default: pir.AcceptTarget}, // unreachable
+		{Name: "leaf", Default: pir.AcceptTarget},
+	})
+	diags := Run(spec, nil)
+	pruned, st := Prune(spec, diags)
+	if st.StatesBefore != 3 || st.StatesAfter != 2 || st.RulesBefore != 2 || st.RulesAfter != 1 {
+		t.Fatalf("prune stats: %+v", st)
+	}
+	if len(pruned.States) != 2 || pruned.States[1].Name != "leaf" {
+		t.Fatalf("pruned states wrong: %v", pruned)
+	}
+	r := pruned.States[0].Rules
+	if len(r) != 1 || r[0].Next != pir.To(1) {
+		t.Fatalf("rule not retargeted to the shifted leaf index: %+v", r)
+	}
+	// A clean spec passes through untouched (same pointer).
+	clean, cst := Prune(pruned, Run(pruned, nil))
+	if clean != pruned || cst.StatesAfter != 2 {
+		t.Error("clean spec must be returned unchanged")
+	}
+}
+
+// TestDiagJSONShape locks the machine-readable schema: code, severity (as
+// a lowercase string), state, rule, msg.
+func TestDiagJSONShape(t *testing.T) {
+	d := Diag{Code: CodeShadowedRule, Severity: Warning, State: "start", Rule: 2, Msg: "m"}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"code":"PH002","severity":"warning","state":"start","rule":2,"msg":"m"}`
+	if string(data) != want {
+		t.Errorf("schema drift:\n got %s\nwant %s", data, want)
+	}
+	var back Diag
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip changed the diag: %+v", back)
+	}
+	if CodeUnboundedLoop.Name() != "unbounded-loop" {
+		t.Error("code catalogue name wrong")
+	}
+	if !strings.Contains(d.String(), `PH002 warning: state "start" rule 2`) {
+		t.Errorf("human format drift: %s", d.String())
+	}
+}

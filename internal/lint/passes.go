@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"strings"
+
+	"parserhawk/internal/pir"
+)
+
+// passReachability emits PH001 for every state no path from the start
+// state can visit. Unreachable states arise naturally from rewrites (the
+// +R2 family of Figure 21) and cost synthesis time for nothing; Prune
+// removes them.
+func (a *analysis) passReachability() {
+	for i := range a.spec.States {
+		if !a.reach[i] {
+			a.report(CodeUnreachableState, Warning, a.spec.States[i].Name, -1,
+				"state is unreachable from the start state and will be pruned")
+		}
+	}
+}
+
+// passWidths emits PH004 for rules whose value or mask uses bits outside
+// the state's key width. A rule that requires a set bit above the key
+// width can never fire (the key's high bits read as zero), which is an
+// error; a mask that merely inspects absent bits, or value bits the mask
+// ignores, are warnings.
+func (a *analysis) passWidths() {
+	a.neverMatch = map[[2]int]bool{}
+	for si := range a.spec.States {
+		st := &a.spec.States[si]
+		kw := st.KeyWidth()
+		if kw == 0 {
+			continue
+		}
+		low := widthMask(kw)
+		for ri, r := range st.Rules {
+			switch {
+			case r.Value&r.Mask&^low != 0:
+				a.neverMatch[[2]int{si, ri}] = true
+				a.report(CodeWidthMismatch, Error, st.Name, ri,
+					"rule can never match: value and mask require a set bit above the %d-bit key", kw)
+			case r.Mask&^low != 0:
+				a.report(CodeWidthMismatch, Warning, st.Name, ri,
+					"mask selects bits above the %d-bit key; they never constrain the match", kw)
+			case r.Value&^r.Mask&low != 0:
+				a.report(CodeWidthMismatch, Warning, st.Name, ri,
+					"value bits outside the mask are ignored by the match")
+			}
+		}
+	}
+}
+
+// passDataflow emits PH005 when a state reads packet data that extraction
+// never produced. Two dataflow analyses over the state graph:
+//
+//   - must-extracted: fields extracted on *every* path into the state
+//     (intersection over predecessors, greatest fixpoint). A varbit
+//     extraction whose length field is not must-extracted reads an
+//     undefined length — an error.
+//   - may-extracted: fields extracted on *some* path (union, least
+//     fixpoint). A transition key slicing a field that is not even
+//     may-extracted always reads zero — a warning, since hardware
+//     containers are zero-initialised, but almost certainly a spec bug.
+//
+// Only reachable states are analyzed; unreachable ones are PH001's job.
+func (a *analysis) passDataflow() {
+	spec := a.spec
+	n := len(spec.States)
+
+	all := map[string]bool{}
+	for _, f := range spec.Fields {
+		all[f.Name] = true
+	}
+	clone := func(m map[string]bool) map[string]bool {
+		c := make(map[string]bool, len(m))
+		for k := range m {
+			c[k] = true
+		}
+		return c
+	}
+
+	// mustIn starts at ⊤ (all fields) everywhere but the entry; the
+	// fixpoint shrinks it. mayIn starts at ⊥ (empty) and grows.
+	mustIn := make([]map[string]bool, n)
+	mayIn := make([]map[string]bool, n)
+	for i := 0; i < n; i++ {
+		mustIn[i] = clone(all)
+		mayIn[i] = map[string]bool{}
+	}
+	mustIn[0] = map[string]bool{}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !a.reach[i] {
+				continue
+			}
+			st := &spec.States[i]
+			mustOut := clone(mustIn[i])
+			mayOut := clone(mayIn[i])
+			for _, e := range st.Extracts {
+				mustOut[e.Field] = true
+				mayOut[e.Field] = true
+			}
+			flow := func(t pir.Target) {
+				if t.Kind != pir.ToState {
+					return
+				}
+				s := t.State
+				for f := range mustIn[s] {
+					if !mustOut[f] {
+						delete(mustIn[s], f)
+						changed = true
+					}
+				}
+				for f := range mayOut {
+					if !mayIn[s][f] {
+						mayIn[s][f] = true
+						changed = true
+					}
+				}
+			}
+			for _, r := range st.Rules {
+				flow(r.Next)
+			}
+			flow(st.Default)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if !a.reach[i] {
+			continue
+		}
+		st := &spec.States[i]
+
+		// Varbit lengths must be extracted before use on every path,
+		// including earlier in this state's own extraction sequence.
+		local := clone(mustIn[i])
+		for _, e := range st.Extracts {
+			if e.LenField != "" && !local[e.LenField] {
+				a.report(CodeExtractOverrun, Error, st.Name, -1,
+					"varbit extraction of %q reads length field %q before it is extracted on every path",
+					e.Field, e.LenField)
+			}
+			local[e.Field] = true
+		}
+
+		// Transition keys are evaluated after this state's own extracts.
+		avail := clone(mayIn[i])
+		for _, e := range st.Extracts {
+			avail[e.Field] = true
+		}
+		for _, p := range st.Key {
+			if p.Lookahead {
+				continue
+			}
+			if !avail[p.Field] {
+				a.report(CodeExtractOverrun, Warning, st.Name, -1,
+					"key slices field %q, which no path extracts before this state; it always reads zero",
+					p.Field)
+			}
+		}
+	}
+}
+
+// passFeasibility emits PH006 when a state's key demands exceed what the
+// device's TCAM can match in one lookup. These are warnings, not errors:
+// the compiler splits wide keys across chained states and defers
+// over-reaching lookahead past extraction, but both cost extra entries and
+// stages, so the spec author should know.
+func (a *analysis) passFeasibility() {
+	if a.profile == nil {
+		return
+	}
+	p := a.profile
+	for i := range a.spec.States {
+		if !a.reach[i] {
+			continue
+		}
+		st := &a.spec.States[i]
+		kw := st.KeyWidth()
+		if p.KeyLimit > 0 && kw > p.KeyLimit {
+			a.report(CodeKeyExceedsTCAM, Warning, st.Name, -1,
+				"key width %d exceeds the %s key limit %d; the key will be split across %d chained lookups",
+				kw, p.Name, p.KeyLimit, p.KeySplitStates(kw))
+		}
+		reach := 0
+		for _, part := range st.Key {
+			if part.Lookahead && part.Skip+part.Width > reach {
+				reach = part.Skip + part.Width
+			}
+		}
+		if reach > 0 && !p.FitsLookahead(reach) {
+			a.report(CodeKeyExceedsTCAM, Warning, st.Name, -1,
+				"lookahead reaches %d bits past the cursor but the %s window is %d; the match will be deferred past extraction",
+				reach, p.Name, p.LookaheadLimit)
+		}
+	}
+}
+
+// passLoops emits PH007. The error-prone shape is a zero-progress cycle: a
+// reachable cycle every state of which can extract zero bits, so the
+// parser can revisit the same cursor position forever and terminates only
+// by the iteration cap. Minimum extraction widths come from interval
+// arithmetic: a varbit of length v*scale+bias over v ∈ [0, 2^w-1] is
+// clamped to [0, fieldWidth], and a linear function attains its minimum at
+// an interval endpoint.
+//
+// With a profile, a loop on a forward-only device additionally gets an
+// informational note: the compiled pipeline is equivalent to the unrolled
+// spec, not the unbounded loop.
+func (a *analysis) passLoops() {
+	spec := a.spec
+	n := len(spec.States)
+
+	minBits := make([]int, n)
+	for i := 0; i < n; i++ {
+		sum := 0
+		for _, e := range spec.States[i].Extracts {
+			sum += minExtractBits(spec, e)
+		}
+		minBits[i] = sum
+	}
+
+	// zero[i]: state i is reachable and can consume nothing on a visit.
+	zero := make([]bool, n)
+	for i := 0; i < n; i++ {
+		zero[i] = a.reach[i] && minBits[i] == 0
+	}
+	succ := func(i int) []int {
+		var out []int
+		add := func(t pir.Target) {
+			if t.Kind == pir.ToState && zero[t.State] {
+				out = append(out, t.State)
+			}
+		}
+		for _, r := range spec.States[i].Rules {
+			add(r.Next)
+		}
+		add(spec.States[i].Default)
+		return out
+	}
+	// A state is on a zero-progress cycle iff it can reach itself inside
+	// the zero-consumption subgraph. State counts are small, so a DFS per
+	// candidate is fine.
+	for i := 0; i < n; i++ {
+		if !zero[i] {
+			continue
+		}
+		seen := make([]bool, n)
+		stack := succ(i)
+		onCycle := false
+		for len(stack) > 0 && !onCycle {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if s == i {
+				onCycle = true
+				break
+			}
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, succ(s)...)
+		}
+		if onCycle {
+			a.report(CodeUnboundedLoop, Warning, spec.States[i].Name, -1,
+				"state can revisit itself without consuming any input bits; the loop is bounded only by the iteration cap")
+		}
+	}
+
+	if a.profile != nil && !a.profile.AllowLoops() && spec.HasLoop() {
+		loopStates := loopStateNames(spec)
+		a.report(CodeUnboundedLoop, Info, "", -1,
+			"parse loop through %s: %s is forward-only, so the compiled pipeline is equivalent to the bounded unrolling, not the unbounded loop",
+			loopStates, a.profile.Name)
+	}
+}
+
+// minExtractBits returns the fewest bits one extraction can consume.
+func minExtractBits(spec *pir.Spec, e pir.Extract) int {
+	f, _ := spec.Field(e.Field)
+	if e.LenField == "" {
+		return f.Width
+	}
+	lf, _ := spec.Field(e.LenField)
+	hi := int(widthMask(lf.Width)) // 2^w - 1
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > f.Width {
+			return f.Width
+		}
+		return v
+	}
+	w0 := clamp(0*e.LenScale + e.LenBias)
+	w1 := clamp(hi*e.LenScale + e.LenBias)
+	if w0 < w1 {
+		return w0
+	}
+	return w1
+}
+
+// loopStateNames names the states on some reachable cycle, for messages.
+func loopStateNames(spec *pir.Spec) string {
+	reach := spec.Reachable()
+	var names []string
+	for i := range spec.States {
+		if !reach[i] {
+			continue
+		}
+		// A state is loopy if it can reach itself.
+		seen := make([]bool, len(spec.States))
+		var stack []int
+		push := func(t pir.Target) {
+			if t.Kind == pir.ToState {
+				stack = append(stack, t.State)
+			}
+		}
+		for _, r := range spec.States[i].Rules {
+			push(r.Next)
+		}
+		push(spec.States[i].Default)
+		found := false
+		for len(stack) > 0 && !found {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if s == i {
+				found = true
+				break
+			}
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			for _, r := range spec.States[s].Rules {
+				push(r.Next)
+			}
+			push(spec.States[s].Default)
+		}
+		if found {
+			names = append(names, spec.States[i].Name)
+		}
+	}
+	if len(names) == 0 {
+		return "(none)"
+	}
+	return strings.Join(names, ", ")
+}

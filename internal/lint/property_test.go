@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/pir"
+)
+
+// randomSpec generates a spec rich in rule shadowing: with some
+// probability a new rule is derived from an earlier one by growing its
+// mask and agreeing on the shared bits, which makes it a strict subset of
+// the earlier rule's match set (hence SAT-provably shadowed). Targets are
+// arbitrary, so loops and unreachable states occur too.
+func randomSpec(rng *rand.Rand) *pir.Spec {
+	nf := 1 + rng.Intn(3)
+	fields := make([]pir.Field, nf)
+	names := []string{"a", "b", "c"}
+	for i := range fields {
+		fields[i] = pir.Field{Name: names[i], Width: 1 + rng.Intn(6)}
+	}
+	ns := 1 + rng.Intn(4)
+	states := make([]pir.State, ns)
+	for si := range states {
+		st := pir.State{Name: "s" + string(rune('0'+si))}
+		for fi := range fields {
+			if rng.Intn(2) == 0 {
+				st.Extracts = append(st.Extracts, pir.Extract{Field: fields[fi].Name})
+			}
+		}
+		target := func() pir.Target {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				return pir.AcceptTarget
+			case 3, 4:
+				return pir.RejectTarget
+			default:
+				return pir.To(rng.Intn(ns))
+			}
+		}
+		if rng.Intn(5) > 0 { // most states match on a key
+			f := fields[rng.Intn(nf)]
+			st.Key = []pir.KeyPart{pir.WholeField(f.Name, f.Width)}
+			kw := f.Width
+			low := uint64(1)<<uint(kw) - 1
+			nr := rng.Intn(7)
+			for ri := 0; ri < nr; ri++ {
+				var r pir.Rule
+				if ri > 0 && rng.Intn(5) < 2 {
+					// Subset of an earlier rule: provably shadowed.
+					base := st.Rules[rng.Intn(ri)]
+					r.Mask = (base.Mask | rng.Uint64()) & low
+					r.Value = (base.Value & base.Mask) | (rng.Uint64() & r.Mask &^ base.Mask)
+				} else {
+					r.Mask = rng.Uint64() & low
+					r.Value = rng.Uint64() & r.Mask
+				}
+				r.Next = target()
+				st.Rules = append(st.Rules, r)
+			}
+		}
+		st.Default = target()
+		states[si] = st
+	}
+	states[0].Name = "start"
+	return pir.MustNew("rand", fields, states)
+}
+
+// trace replays the reference interpreter, recording which rule was the
+// first match in each visited state and which states fell through to
+// their default despite having rules.
+func trace(spec *pir.Spec, input bitstream.Bits,
+	fired map[[2]int]bool, defaulted map[int]bool) {
+	dict := bitstream.Dict{}
+	cur, pos := 0, 0
+	for iter := 0; iter < pir.DefaultMaxIterations; iter++ {
+		st := &spec.States[cur]
+		for _, e := range st.Extracts {
+			f, _ := spec.Field(e.Field)
+			dict[e.Field] = input.Slice(pos, f.Width)
+			pos += f.Width
+		}
+		next := st.Default
+		matched := -1
+		if len(st.Key) > 0 {
+			key := spec.KeyValue(st, dict, input, pos)
+			for ri, r := range st.Rules {
+				if key&r.Mask == r.Value&r.Mask {
+					next, matched = r.Next, ri
+					break
+				}
+			}
+			if matched >= 0 {
+				fired[[2]int{cur, matched}] = true
+			} else if len(st.Rules) > 0 {
+				defaulted[cur] = true
+			}
+		}
+		if next.Kind != pir.ToState {
+			return
+		}
+		cur = next.State
+	}
+}
+
+// TestShadowedRulesNeverFire is the core soundness property: over random
+// specs and >10k random packets, a rule lint flags PH002 is never the
+// first match, a default lint flags PH003 is never taken, and the pruned
+// spec is observationally equivalent to the original on every input.
+func TestShadowedRulesNeverFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const specs, packets = 120, 100 // 12000 packet runs
+	totalShadowed := 0
+	for trial := 0; trial < specs; trial++ {
+		spec := randomSpec(rng)
+		diags := Run(spec, nil)
+		if HasErrors(diags) {
+			t.Fatalf("trial %d: random generator must not produce error-severity specs: %v", trial, diags)
+		}
+		shadowed := map[[2]int]bool{}
+		deadDflt := map[int]bool{}
+		for _, d := range diags {
+			si := spec.StateIndex(d.State)
+			switch d.Code {
+			case CodeShadowedRule:
+				shadowed[[2]int{si, d.Rule}] = true
+			case CodeDeadDefault:
+				deadDflt[si] = true
+			}
+		}
+		totalShadowed += len(shadowed)
+		pruned, _ := Prune(spec, diags)
+
+		n := spec.MaxConsumedBits(0) + 8
+		fired := map[[2]int]bool{}
+		defaulted := map[int]bool{}
+		for p := 0; p < packets; p++ {
+			input := bitstream.Random(rng, n)
+			trace(spec, input, fired, defaulted)
+			if !spec.Run(input, 0).Same(pruned.Run(input, 0)) {
+				t.Fatalf("trial %d: pruned spec diverges on %s\nspec:\n%s", trial, input, spec)
+			}
+		}
+		for sr := range shadowed {
+			if fired[sr] {
+				t.Errorf("trial %d: rule %d of state %q lint proved shadowed was the first match\n%s",
+					trial, sr[1], spec.States[sr[0]].Name, spec)
+			}
+		}
+		for si := range deadDflt {
+			if defaulted[si] {
+				t.Errorf("trial %d: default of state %q lint proved dead was taken\n%s",
+					trial, spec.States[si].Name, spec)
+			}
+		}
+	}
+	if totalShadowed == 0 {
+		t.Fatal("generator produced no shadowed rules; the property was vacuous")
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import "parserhawk/internal/pir"
+
+// PruneStats reports how much of the specification pruning removed. The
+// before/after state and rule counts are the search-space reduction that
+// flows into the compiler's statistics.
+type PruneStats struct {
+	StatesBefore int
+	StatesAfter  int
+	RulesBefore  int
+	RulesAfter   int
+}
+
+// Prune builds the reduced specification the synthesizer should compile:
+// states flagged PH001 (unreachable) are dropped and rules flagged PH002
+// (SAT-proved shadowed) are removed. diags must come from Run on the same
+// spec.
+//
+// Soundness: an unreachable state is never visited by any execution, and a
+// shadowed rule is never the first match for any key value (proved over
+// the free key space, a superset of the reachable keys), so the pruned
+// spec is observationally equivalent to the original — same acceptance,
+// same extracted dictionary, on every input. Field declarations are kept
+// verbatim so compiled programs share the original field table.
+//
+// When nothing is prunable (or the rebuilt spec would not validate, which
+// cannot happen for specs built by pir.New), the original spec is returned
+// unchanged.
+func Prune(spec *pir.Spec, diags []Diag) (*pir.Spec, PruneStats) {
+	st := PruneStats{StatesBefore: len(spec.States), StatesAfter: len(spec.States)}
+	for i := range spec.States {
+		st.RulesBefore += len(spec.States[i].Rules)
+	}
+	st.RulesAfter = st.RulesBefore
+
+	deadState := map[int]bool{}
+	deadRule := map[[2]int]bool{}
+	for _, d := range diags {
+		si := spec.StateIndex(d.State)
+		if si < 0 {
+			continue
+		}
+		switch d.Code {
+		case CodeUnreachableState:
+			deadState[si] = true
+		case CodeShadowedRule:
+			if d.Rule >= 0 {
+				deadRule[[2]int{si, d.Rule}] = true
+			}
+		}
+	}
+	if len(deadState) == 0 && len(deadRule) == 0 {
+		return spec, st
+	}
+
+	// Remap kept states to their new indices (the start state is always
+	// reachable, so index 0 survives as index 0).
+	newIdx := make([]int, len(spec.States))
+	kept := 0
+	for i := range spec.States {
+		if deadState[i] {
+			newIdx[i] = -1
+			continue
+		}
+		newIdx[i] = kept
+		kept++
+	}
+	retarget := func(t pir.Target) pir.Target {
+		if t.Kind == pir.ToState {
+			t.State = newIdx[t.State]
+		}
+		return t
+	}
+
+	states := make([]pir.State, 0, kept)
+	rules := 0
+	for i := range spec.States {
+		if deadState[i] {
+			continue
+		}
+		src := &spec.States[i]
+		ns := pir.State{
+			Name:     src.Name,
+			Extracts: append([]pir.Extract(nil), src.Extracts...),
+			Key:      append([]pir.KeyPart(nil), src.Key...),
+			Default:  retarget(src.Default),
+		}
+		for ri, r := range src.Rules {
+			if deadRule[[2]int{i, ri}] {
+				continue
+			}
+			r.Next = retarget(r.Next)
+			ns.Rules = append(ns.Rules, r)
+		}
+		rules += len(ns.Rules)
+		states = append(states, ns)
+	}
+
+	pruned, err := pir.New(spec.Name, append([]pir.Field(nil), spec.Fields...), states)
+	if err != nil {
+		return spec, st
+	}
+	st.StatesAfter = kept
+	st.RulesAfter = rules
+	return pruned, st
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"parserhawk/internal/bv"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/sat"
+)
+
+// passSAT runs the exact per-state analyses, PH002 (shadowed-rule) and
+// PH003 (dead-default), as SAT queries over the state's transition key.
+//
+// Model: the key is a free bitvector of the state's key width, so the
+// query space is a superset of the keys reachable at runtime. Every
+// verdict is therefore sound for pruning: if a rule's match set minus the
+// earlier rules' match sets is unsatisfiable over the *free* key, the rule
+// can never be the first match on any real packet either — so removing it
+// (or never taking the pruned default) preserves the parser's semantics
+// exactly. The converse direction is deliberately not claimed: a SAT
+// result means "not provably dead", never "live".
+//
+// Each rule's match formula uses the full interpreter semantics, including
+// mask bits above the key width (the key's high bits read as zero, so a
+// rule demanding a set high bit folds to constant false — already reported
+// by PH004 and skipped here to avoid double-reporting).
+func (a *analysis) passSAT() {
+	for si := range a.spec.States {
+		if !a.reach[si] {
+			continue
+		}
+		st := &a.spec.States[si]
+		kw := st.KeyWidth()
+		if kw == 0 || len(st.Rules) == 0 {
+			continue
+		}
+
+		s := bv.New()
+		key := s.NewBV(kw)
+		low := widthMask(kw)
+		match := make([]bv.Lit, len(st.Rules))
+		for ri, r := range st.Rules {
+			if r.Value&r.Mask&^low != 0 {
+				// PH004-proved never-match: bits above the key width are
+				// always zero, so the rule's high-bit demand fails.
+				match[ri] = s.False()
+				continue
+			}
+			match[ri] = s.MaskedEq(key, s.Const(r.Mask&low, kw), s.Const(r.Value&low, kw))
+		}
+
+		// One incremental solver per state; each verdict is a Solve under
+		// assumptions, so learned clauses are shared across the queries.
+		for ri := range st.Rules {
+			if a.neverMatch[[2]int{si, ri}] {
+				continue // dead by width, not by shadowing
+			}
+			assumptions := make([]bv.Lit, 0, ri+1)
+			assumptions = append(assumptions, match[ri])
+			for rj := 0; rj < ri; rj++ {
+				assumptions = append(assumptions, s.Not(match[rj]))
+			}
+			if s.Solve(assumptions...) == sat.Unsat {
+				a.report(CodeShadowedRule, Warning, st.Name, ri,
+					"rule is shadowed: its match set minus the earlier rules' match sets is unsatisfiable (SAT-proved); it will be pruned")
+			}
+		}
+
+		assumptions := make([]bv.Lit, len(st.Rules))
+		for ri := range st.Rules {
+			assumptions[ri] = s.Not(match[ri])
+		}
+		if s.Solve(assumptions...) == sat.Unsat {
+			dflt := st.Default.String()
+			if st.Default.Kind == pir.ToState {
+				dflt = a.spec.States[st.Default.State].Name
+			}
+			a.report(CodeDeadDefault, Warning, st.Name, -1,
+				"default transition to %s is dead: the rules cover the whole key space (SAT-proved)", dflt)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package pir
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -170,13 +171,15 @@ type Spec struct {
 func New(name string, fields []Field, states []State) (*Spec, error) {
 	s := &Spec{Name: name, Fields: fields, States: states}
 	s.fieldIdx = make(map[string]int, len(fields))
+	var dups []error
 	for i, f := range fields {
 		if _, dup := s.fieldIdx[f.Name]; dup {
-			return nil, fmt.Errorf("pir: duplicate field %q", f.Name)
+			dups = append(dups, fmt.Errorf("pir: duplicate field %q", f.Name))
+			continue
 		}
 		s.fieldIdx[f.Name] = i
 	}
-	if err := s.validate(); err != nil {
+	if err := errors.Join(append(dups, s.Validate())...); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -218,70 +221,80 @@ func (s *Spec) StateIndex(name string) int {
 	return -1
 }
 
-func (s *Spec) validate() error {
+// Validate checks the specification's structural invariants and returns
+// every violation found, joined with errors.Join — not just the first —
+// so a caller fixing a hand-written spec sees the whole repair list at
+// once. A nil result means the spec is well-formed.
+func (s *Spec) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("pir: "+format, args...))
+	}
 	if len(s.States) == 0 {
-		return fmt.Errorf("pir: spec %q has no states", s.Name)
+		bad("spec %q has no states", s.Name)
 	}
 	for _, f := range s.Fields {
 		if f.Width <= 0 {
-			return fmt.Errorf("pir: field %q has non-positive width %d", f.Name, f.Width)
+			bad("field %q has non-positive width %d", f.Name, f.Width)
 		}
 	}
 	seen := map[string]bool{}
 	for si := range s.States {
 		st := &s.States[si]
 		if seen[st.Name] {
-			return fmt.Errorf("pir: duplicate state name %q", st.Name)
+			bad("duplicate state name %q", st.Name)
 		}
 		seen[st.Name] = true
 		for _, e := range st.Extracts {
 			f, ok := s.Field(e.Field)
 			if !ok {
-				return fmt.Errorf("pir: state %q extracts unknown field %q", st.Name, e.Field)
+				bad("state %q extracts unknown field %q", st.Name, e.Field)
+				continue
 			}
 			if e.LenField != "" {
 				if !f.Var {
-					return fmt.Errorf("pir: state %q gives runtime length to fixed field %q", st.Name, e.Field)
+					bad("state %q gives runtime length to fixed field %q", st.Name, e.Field)
 				}
 				if _, ok := s.Field(e.LenField); !ok {
-					return fmt.Errorf("pir: state %q length field %q unknown", st.Name, e.LenField)
+					bad("state %q length field %q unknown", st.Name, e.LenField)
 				}
 			} else if f.Var {
-				return fmt.Errorf("pir: state %q extracts varbit field %q without a length", st.Name, e.Field)
+				bad("state %q extracts varbit field %q without a length", st.Name, e.Field)
 			}
 		}
 		for _, p := range st.Key {
 			if p.Lookahead {
 				if p.Skip < 0 || p.Width <= 0 {
-					return fmt.Errorf("pir: state %q has invalid lookahead %v", st.Name, p)
+					bad("state %q has invalid lookahead %v", st.Name, p)
 				}
 				continue
 			}
 			f, ok := s.Field(p.Field)
 			if !ok {
-				return fmt.Errorf("pir: state %q keys on unknown field %q", st.Name, p.Field)
+				bad("state %q keys on unknown field %q", st.Name, p.Field)
+				continue
 			}
 			if p.Lo < 0 || p.Hi > f.Width || p.Lo >= p.Hi {
-				return fmt.Errorf("pir: state %q key slice %v out of range for width %d", st.Name, p, f.Width)
+				bad("state %q key slice %v out of range for width %d", st.Name, p, f.Width)
 			}
 		}
 		kw := st.KeyWidth()
 		if kw > 64 {
-			return fmt.Errorf("pir: state %q key width %d exceeds 64", st.Name, kw)
+			bad("state %q key width %d exceeds 64", st.Name, kw)
 		}
 		if kw == 0 && len(st.Rules) > 0 {
-			return fmt.Errorf("pir: state %q has rules but no key", st.Name)
+			bad("state %q has rules but no key", st.Name)
 		}
 		for _, r := range st.Rules {
 			if err := s.checkTarget(r.Next); err != nil {
-				return fmt.Errorf("pir: state %q rule: %v", st.Name, err)
+				bad("state %q rule: %v", st.Name, err)
 			}
 		}
 		if err := s.checkTarget(st.Default); err != nil {
-			return fmt.Errorf("pir: state %q default: %v", st.Name, err)
+			bad("state %q default: %v", st.Name, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func (s *Spec) checkTarget(t Target) error {

@@ -399,6 +399,35 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+// Validation aggregates: a spec with several independent defects reports
+// all of them in one error, not just the first.
+func TestValidationAggregatesAllErrors(t *testing.T) {
+	_, err := New("multi",
+		[]Field{{Name: "f", Width: 0}, {Name: "f", Width: 2}},
+		[]State{
+			{Name: "S", Extracts: []Extract{{Field: "ghost"}}, Default: To(9)},
+			{Name: "S", Default: AcceptTarget},
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{
+		"duplicate field", "non-positive width", "unknown field",
+		"out of range", "duplicate state",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %q:\n%v", want, err)
+		}
+	}
+
+	// The exported Validate reports nil on a well-formed spec.
+	good := MustNew("ok", []Field{{Name: "f", Width: 1}},
+		[]State{{Name: "S", Default: AcceptTarget}})
+	if verr := good.Validate(); verr != nil {
+		t.Errorf("well-formed spec: %v", verr)
+	}
+}
+
 func TestStringRendering(t *testing.T) {
 	out := spec2(t).String()
 	for _, want := range []string{"parser spec2", "state State0", "select", "default : accept", "field0[0:1]"} {

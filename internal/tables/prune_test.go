@@ -1,0 +1,72 @@
+package tables
+
+import (
+	"testing"
+	"time"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/core"
+	"parserhawk/internal/sim"
+)
+
+// TestPruningIsSoundAndNeverCostsEntries is the acceptance check for the
+// SpecLint prune feeding the compiler: on benchmarks that carry prunable
+// redundancy (the +R1 duplicate-rule and +R2 unreachable-state rewrites,
+// plus Parse MPLS whose source has a literal duplicate rule), the
+// default compilation (lint + prune on) must
+//
+//  1. produce a program equivalent to the ORIGINAL, unpruned spec — the
+//     prune may only remove provably-dead structure, and
+//  2. use no more TCAM entries than a compilation with linting skipped.
+func TestPruningIsSoundAndNeverCostsEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles several benchmarks")
+	}
+	names := []string{
+		"Parse Ethernet +R1",
+		"Parse Ethernet +R2",
+		"Parse MPLS",
+		"Sai V1 +R2",
+	}
+	profile := TofinoScaled()
+	for _, name := range names {
+		b, ok := benchdata.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		opts := core.DefaultOptions()
+		opts.Timeout = 60 * time.Second
+		opts.MaxIterations = b.MaxIterations
+
+		pruned, err := core.Compile(b.Spec, profile, opts)
+		if err != nil {
+			t.Errorf("%s: pruned compile: %v", name, err)
+			continue
+		}
+		if pruned.Stats.Lint.StatesAfter > pruned.Stats.Lint.StatesBefore ||
+			pruned.Stats.Lint.RulesAfter >= pruned.Stats.Lint.RulesBefore {
+			t.Errorf("%s: expected the prune to remove rules: %+v", name, pruned.Stats.Lint)
+		}
+
+		// Soundness: equivalent to the original spec, not the pruned one.
+		// maxIter 0 selects the full iteration budget — the loop-capable
+		// target implements the spec outright, same contract as the §7.1
+		// validation suite.
+		rep := sim.Check(b.Spec, pruned.Program, 0, 16, 0, 1)
+		if !rep.OK() {
+			t.Errorf("%s: pruned program diverges from the original spec: %s", name, rep)
+		}
+
+		noLint := opts
+		noLint.SkipLint = true
+		unpruned, err := core.Compile(b.Spec, profile, noLint)
+		if err != nil {
+			t.Errorf("%s: unpruned compile: %v", name, err)
+			continue
+		}
+		if pruned.Resources.Entries > unpruned.Resources.Entries {
+			t.Errorf("%s: pruning cost entries: %d with lint vs %d without",
+				name, pruned.Resources.Entries, unpruned.Resources.Entries)
+		}
+	}
+}

@@ -23,6 +23,15 @@ type RunStats struct {
 	Stages  int     `json:"stages"`
 	Seconds float64 `json:"seconds"`
 
+	// Specification size before and after the SpecLint prune (also inside
+	// Stats.Lint, surfaced top-level so table tooling can chart the search
+	// space reduction without digging into the solver trace). All zero in
+	// "orig" mode, which compiles with linting skipped.
+	StatesPrePrune  int `json:"states_pre_prune,omitempty"`
+	StatesPostPrune int `json:"states_post_prune,omitempty"`
+	RulesPrePrune   int `json:"rules_pre_prune,omitempty"`
+	RulesPostPrune  int `json:"rules_post_prune,omitempty"`
+
 	Stats core.Stats `json:"stats"`
 }
 

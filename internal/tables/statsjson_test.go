@@ -18,7 +18,16 @@ func TestRunStatsRoundTrip(t *testing.T) {
 			Entries: 7,
 			Stages:  1,
 			Seconds: 1.25,
+
+			StatesPrePrune:  5,
+			StatesPostPrune: 4,
+			RulesPrePrune:   9,
+			RulesPostPrune:  8,
 			Stats: core.Stats{
+				Lint: core.LintStats{
+					Warnings: 2, StatesBefore: 5, StatesAfter: 4,
+					RulesBefore: 9, RulesAfter: 8,
+				},
 				CEGISIterations: 9,
 				SkeletonsTried:  2,
 				BudgetsTried:    3,
@@ -103,6 +112,12 @@ func TestStatsSinkReceivesRuns(t *testing.T) {
 		}
 		if r.Stats.Solver.Solves == 0 || r.Stats.Solver.Propagations == 0 || r.Stats.Solver.Vars == 0 {
 			t.Errorf("%s/%s: solver counters look dead: %+v", r.Program, r.Target, r.Stats.Solver)
+		}
+		// Opt mode always lints, so the pre-prune sizes reflect the spec.
+		if r.StatesPrePrune == 0 || r.RulesPrePrune == 0 ||
+			r.StatesPostPrune > r.StatesPrePrune || r.RulesPostPrune > r.RulesPrePrune {
+			t.Errorf("%s/%s: prune counters wrong: %d->%d states, %d->%d rules",
+				r.Program, r.Target, r.StatesPrePrune, r.StatesPostPrune, r.RulesPrePrune, r.RulesPostPrune)
 		}
 	}
 	if _, err := EncodeRunStats(runs); err != nil {

@@ -149,6 +149,10 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	rec.Entries = out.Entries
 	rec.Stages = out.Stages
 	rec.Stats = res.Stats
+	rec.StatesPrePrune = res.Stats.Lint.StatesBefore
+	rec.StatesPostPrune = res.Stats.Lint.StatesAfter
+	rec.RulesPrePrune = res.Stats.Lint.RulesBefore
+	rec.RulesPostPrune = res.Stats.Lint.RulesAfter
 	cfg.record(rec)
 
 	if cfg.RunOrig {

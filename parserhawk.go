@@ -32,6 +32,7 @@ import (
 	"parserhawk/internal/bitstream"
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/lint"
 	"parserhawk/internal/p4"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/sim"
@@ -65,6 +66,28 @@ type SolverStats = core.SolverStats
 
 // IterationStats is one CEGIS iteration of the winning budget runner.
 type IterationStats = core.IterationStats
+
+// LintStats summarizes a compilation's SpecLint pre-pass: diagnostic
+// tallies and the pre/post-prune specification size.
+type LintStats = core.LintStats
+
+// Diag is one structured SpecLint diagnostic (codes PH001–PH007).
+type Diag = lint.Diag
+
+// Severity classifies a Diag; error-severity diagnostics make Compile
+// reject the specification.
+type Severity = lint.Severity
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = lint.Info
+	SeverityWarning = lint.Warning
+	SeverityError   = lint.Error
+)
+
+// LintError is the diagnostics-bearing error Compile returns when the
+// specification has error-severity lint findings.
+type LintError = core.LintError
 
 // Bits is a wire-order bit string; Dict maps field names to parsed values.
 type (
@@ -153,6 +176,18 @@ func CompileFile(path string, target Profile, opts Options) (*Result, error) {
 // deeper stacks are dropped. Use it to state the equivalence contract for
 // pipelined compilations of loopy parsers.
 func Unroll(spec *Spec, depth int) (*Spec, error) { return core.Unroll(spec, depth) }
+
+// Lint runs the SpecLint static analyzer over a specification without a
+// device profile: the semantic passes only (reachability, width
+// consistency, extraction dataflow, SAT-certified shadowing and dead
+// defaults, zero-progress loops). Diagnostics come back sorted by state,
+// rule, and code.
+func Lint(spec *Spec) []Diag { return lint.Run(spec, nil) }
+
+// LintFor is Lint plus the device-feasibility passes: key-width and
+// lookahead demands are checked against the target profile (PH006), and
+// parse loops on forward-only devices get the bounded-unrolling note.
+func LintFor(spec *Spec, target Profile) []Diag { return lint.Run(spec, &target) }
 
 // VerifyReport is the outcome of an equivalence check between a
 // specification and a compiled program (the paper's §7.1 validation).
