@@ -1,0 +1,161 @@
+// Command hawkab compares two hawkbench -stats runs of the same benchmark
+// slice: one with incremental solving sessions (the default) and one with
+// -fresh-encode. It is the CI gate for the incremental architecture:
+//
+//	hawkbench -table 3 -filter Parse -stats incr.json
+//	hawkbench -table 3 -filter Parse -stats fresh.json -fresh-encode
+//	hawkab incr.json fresh.json
+//
+// hawkab exits nonzero when the incremental mode changed any compilation
+// outcome — a different OK/failure verdict or a different entry or stage
+// count on any benchmark — or when it slowed the slice's total wall time
+// beyond the tolerance. It always reports how many CNF clauses and
+// solver-construction work the sessions saved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"parserhawk/internal/tables"
+)
+
+func main() {
+	var (
+		maxSlow = flag.Float64("max-slowdown", 1.25, "fail when incremental total seconds exceed fresh total times this factor")
+		slack   = flag.Float64("slack", 2.0, "absolute seconds of slowdown always tolerated (absorbs timer noise on fast slices)")
+		minCut  = flag.Float64("min-clause-reduction", 0, "fail when incremental mode saves fewer than this percentage of CNF clauses (0 disables the gate)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hawkab [flags] incremental.json fresh.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	incr, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range incr {
+		if r.FreshEncode {
+			fatalf("hawkab: %s: first file contains fresh-encode runs; argument order is incremental.json fresh.json", flag.Arg(0))
+		}
+	}
+	for _, r := range fresh {
+		if !r.FreshEncode {
+			fatalf("hawkab: %s: second file contains incremental runs; argument order is incremental.json fresh.json", flag.Arg(1))
+		}
+	}
+
+	im, fm := index(incr), index(fresh)
+	var keys []string
+	for k := range im {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(im) != len(fm) {
+		fatalf("hawkab: run sets differ: %d incremental vs %d fresh-encode records", len(im), len(fm))
+	}
+
+	bad := 0
+	var incrSec, freshSec float64
+	var incrClauses, freshClauses, retained, consHits int64
+	for _, k := range keys {
+		a, b := im[k], fm[k]
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "hawkab: %s: present only in the incremental run\n", k)
+			bad++
+			continue
+		}
+		if a.OK != b.OK {
+			fmt.Fprintf(os.Stderr, "hawkab: %s: verdict changed: incremental ok=%v, fresh ok=%v (%s / %s)\n",
+				k, a.OK, b.OK, a.Error, b.Error)
+			bad++
+		} else if a.OK && (a.Entries != b.Entries || a.Stages != b.Stages) {
+			fmt.Fprintf(os.Stderr, "hawkab: %s: result changed: incremental %d entries/%d stages, fresh %d entries/%d stages\n",
+				k, a.Entries, a.Stages, b.Entries, b.Stages)
+			bad++
+		}
+		incrSec += a.Seconds
+		freshSec += b.Seconds
+		incrClauses += a.Stats.Solver.Clauses
+		freshClauses += b.Stats.Solver.Clauses
+		retained += a.Stats.Solver.RetainedClauses
+		consHits += a.Stats.Solver.ConsHits
+	}
+
+	fmt.Printf("runs compared:     %d\n", len(keys))
+	fmt.Printf("total wall time:   incremental %.2fs, fresh-encode %.2fs (%.2fx)\n",
+		incrSec, freshSec, ratio(incrSec, freshSec))
+	fmt.Printf("CNF clauses:       incremental %d, fresh-encode %d (%.1f%% fewer)\n",
+		incrClauses, freshClauses, pctLess(incrClauses, freshClauses))
+	fmt.Printf("learned retained:  %d clauses carried across solves\n", retained)
+	fmt.Printf("cons-cache hits:   %d gates deduplicated\n", consHits)
+
+	if bad > 0 {
+		fatalf("hawkab: FAIL: %d run(s) changed outcome under incremental solving", bad)
+	}
+	if incrSec > freshSec**maxSlow+*slack {
+		fatalf("hawkab: FAIL: incremental mode is %.2fx slower than fresh-encode (limit %.2fx + %.1fs slack)",
+			ratio(incrSec, freshSec), *maxSlow, *slack)
+	}
+	if cut := pctLess(incrClauses, freshClauses); *minCut > 0 && cut < *minCut {
+		fatalf("hawkab: FAIL: incremental mode saved only %.1f%% of CNF clauses (gate: %.1f%%)", cut, *minCut)
+	}
+	fmt.Println("hawkab: OK: identical outcomes, within the time budget")
+}
+
+func load(path string) ([]tables.RunStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hawkab: %w", err)
+	}
+	runs, err := tables.DecodeRunStats(data)
+	if err != nil {
+		return nil, fmt.Errorf("hawkab: %s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("hawkab: %s: no runs recorded", path)
+	}
+	return runs, nil
+}
+
+func index(runs []tables.RunStats) map[string]*tables.RunStats {
+	m := make(map[string]*tables.RunStats, len(runs))
+	for i := range runs {
+		r := &runs[i]
+		m[fmt.Sprintf("%s/%s/%s", r.Program, r.Target, r.Mode)] = r
+	}
+	return m
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func pctLess(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(b-a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -38,6 +38,7 @@ func main() {
 		optTimeout  = flag.Duration("timeout", 2*time.Minute, "per-compilation budget for the optimized mode")
 		origTimeout = flag.Duration("orig-timeout", 10*time.Second, "per-compilation budget for the naive mode")
 		statsOut    = flag.String("stats", "", "write per-run solver statistics as JSON to this file (\"-\" for stdout)")
+		fresh       = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		OrigTimeout: *origTimeout,
 		RunOrig:     *runOrig,
 		Filter:      *filter,
+		FreshEncode: *fresh,
 	}
 	var runs []tables.RunStats
 	if *statsOut != "" {

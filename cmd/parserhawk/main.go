@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"parserhawk"
@@ -41,6 +44,8 @@ func main() {
 		stats     = flag.Bool("stats", false, "emit solver-level synthesis statistics as JSON")
 		emitP4    = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
 		lintOnly  = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
+		dimacsDir = flag.String("dimacs", "", "directory to write the compile's hardest SAT query as DIMACS CNF")
+		fresh     = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -68,6 +73,15 @@ func main() {
 	}
 	opts.Timeout = *timeout
 	opts.MaxIterations = *maxIter
+	opts.FreshEncode = *fresh
+
+	// -dimacs: keep the most-conflicted query any budget rung reports and
+	// write it out after compilation — even a failed one, since the hardest
+	// query of a timeout is exactly what one wants to replay offline.
+	var hardest hardestQuery
+	if *dimacsDir != "" {
+		opts.QuerySink = hardest.consider
+	}
 
 	spec, err := parserhawk.ParseSpecFile(flag.Arg(0))
 	if err != nil {
@@ -92,6 +106,14 @@ func main() {
 
 	start := time.Now()
 	res, err := parserhawk.Compile(spec, profile, opts)
+	if *dimacsDir != "" {
+		if werr := hardest.write(*dimacsDir, spec.Name); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parserhawk: compilation failed: %v\n", err)
 		os.Exit(1)
@@ -143,6 +165,61 @@ func main() {
 		}
 		fmt.Printf("verification:      %s\n", rep)
 	}
+}
+
+// hardestQuery keeps the most-conflicted QueryDump seen so far. The sink
+// may be called concurrently from racing skeleton attempts, hence the
+// mutex.
+type hardestQuery struct {
+	mu   sync.Mutex
+	best *parserhawk.QueryDump
+}
+
+func (h *hardestQuery) consider(q parserhawk.QueryDump) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.best == nil || q.Conflicts > h.best.Conflicts {
+		h.best = &q
+	}
+}
+
+// write saves the hardest query as <dir>/<spec>.hardest.cnf: a DIMACS
+// comment header identifying the query, then the instance with that
+// solve's assumptions as unit clauses.
+func (h *hardestQuery) write(dir, spec string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.best == nil {
+		return fmt.Errorf("parserhawk: -dimacs: no SAT query was captured")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("parserhawk: -dimacs: %w", err)
+	}
+	q := h.best
+	var b strings.Builder
+	fmt.Fprintf(&b, "c parserhawk hardest query\n")
+	fmt.Fprintf(&b, "c spec=%s skeleton=%s budget=%d examples=%d\n", q.Spec, q.Skeleton, q.Budget, q.Examples)
+	fmt.Fprintf(&b, "c status=%s conflicts=%d\n", q.Status, q.Conflicts)
+	b.Write(q.DIMACS)
+	name := filepath.Join(dir, sanitize(spec)+".hardest.cnf")
+	if err := os.WriteFile(name, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("parserhawk: -dimacs: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "parserhawk: hardest query (%d conflicts, %s, budget %d) written to %s\n",
+		q.Conflicts, q.Status, q.Budget, name)
+	return nil
+}
+
+// sanitize maps a spec name onto a safe file stem.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 // runLint prints the SpecLint report for one spec — one line per

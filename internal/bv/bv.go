@@ -29,45 +29,70 @@ type BV struct {
 func (b BV) Width() int { return len(b.Bits) }
 
 // Solver wraps a SAT solver with formula-construction helpers.
+//
+// Gate construction is hash-consed: structurally identical And/Xor/Ite
+// gates are built once and shared, so repeated subcircuits (the CEGIS
+// loop re-encodes near-identical counterexample circuits constantly) stop
+// emitting duplicate CNF. DisableConsing turns the sharing off for A/B
+// measurement.
 type Solver struct {
 	SAT *sat.Solver
 
 	tru sat.Lit // literal fixed to true
 
 	andCache map[[2]Lit]Lit
-	orCache  map[[2]Lit]Lit
 	xorCache map[[2]Lit]Lit
+	muxCache map[[3]Lit]Lit
 
-	gates int64 // Tseitin gates actually allocated (cache misses)
+	nocons   bool
+	gates    int64 // Tseitin gates actually allocated (cache misses)
+	consHits int64 // gate constructions answered from the structural cache
 }
 
 // Metrics combines the underlying CDCL counters with the bit-blasting
 // layer's own: how many Tseitin gates the encoder materialized (constant
 // folding and the structural caches make this far smaller than the number
-// of formula-construction calls).
+// of formula-construction calls), and how many gate constructions the
+// hash-consing caches answered without emitting CNF.
 type Metrics struct {
 	sat.Metrics
-	Gates int64 `json:"gates"`
+	Gates    int64 `json:"gates"`
+	ConsHits int64 `json:"cons_hits"`
 }
 
 // Metrics snapshots the solver's cumulative counters.
 func (s *Solver) Metrics() Metrics {
-	return Metrics{Metrics: s.SAT.Metrics(), Gates: s.gates}
+	return Metrics{Metrics: s.SAT.Metrics(), Gates: s.gates, ConsHits: s.consHits}
 }
 
 // New returns a fresh solver with its constant-true literal asserted.
-func New() *Solver {
+func New() *Solver { return newSolver(false) }
+
+// NewRecording returns a solver that logs every clause (including the
+// constant-true unit added here) so the instance can later be exported
+// with WriteDIMACS. Costs one clause copy per AddClause; use only when an
+// export may be requested.
+func NewRecording() *Solver { return newSolver(true) }
+
+func newSolver(record bool) *Solver {
 	s := &Solver{
 		SAT:      sat.New(),
 		andCache: map[[2]Lit]Lit{},
-		orCache:  map[[2]Lit]Lit{},
 		xorCache: map[[2]Lit]Lit{},
+		muxCache: map[[3]Lit]Lit{},
 	}
+	s.SAT.RecordOriginal = record
 	v := s.SAT.NewVar()
 	s.tru = sat.MkLit(v, false)
 	s.SAT.AddClause(s.tru)
 	return s
 }
+
+// DisableConsing turns off the structural gate caches (constant folding
+// stays on), so every And/Xor/Ite call emits fresh CNF. Only the A/B
+// tests and ablation benches use it: it exists to measure what the
+// hash-consed layer saves.
+func (s *Solver) DisableConsing() { s.nocons = true }
 
 // True and False return the constant literals.
 func (s *Solver) True() Lit  { return s.tru }
@@ -139,7 +164,8 @@ func (s *Solver) And(a, b Lit) Lit {
 	if a > b {
 		a, b = b, a
 	}
-	if g, ok := s.andCache[[2]Lit{a, b}]; ok {
+	if g, ok := s.andCache[[2]Lit{a, b}]; ok && !s.nocons {
+		s.consHits++
 		return g
 	}
 	g := s.NewLit()
@@ -147,7 +173,9 @@ func (s *Solver) And(a, b Lit) Lit {
 	s.SAT.AddClause(g.Not(), a)
 	s.SAT.AddClause(g.Not(), b)
 	s.SAT.AddClause(g, a.Not(), b.Not())
-	s.andCache[[2]Lit{a, b}] = g
+	if !s.nocons {
+		s.andCache[[2]Lit{a, b}] = g
+	}
 	return g
 }
 
@@ -175,7 +203,8 @@ func (s *Solver) Xor(a, b Lit) Lit {
 	if a > b {
 		a, b = b, a
 	}
-	if g, ok := s.xorCache[[2]Lit{a, b}]; ok {
+	if g, ok := s.xorCache[[2]Lit{a, b}]; ok && !s.nocons {
+		s.consHits++
 		return g
 	}
 	g := s.NewLit()
@@ -184,7 +213,9 @@ func (s *Solver) Xor(a, b Lit) Lit {
 	s.SAT.AddClause(g.Not(), a.Not(), b.Not())
 	s.SAT.AddClause(g, a.Not(), b)
 	s.SAT.AddClause(g, a, b.Not())
-	s.xorCache[[2]Lit{a, b}] = g
+	if !s.nocons {
+		s.xorCache[[2]Lit{a, b}] = g
+	}
 	return g
 }
 
@@ -212,7 +243,10 @@ func (s *Solver) OrN(ls ...Lit) Lit {
 	return g
 }
 
-// MuxLit returns c ? a : b as a boolean formula.
+// MuxLit returns c ? a : b as a boolean formula: a single hash-consed
+// if-then-else gate after constant folding. The condition is canonicalized
+// to positive polarity (ITE(¬c,a,b) = ITE(c,b,a)) so both spellings share
+// one gate.
 func (s *Solver) MuxLit(c, a, b Lit) Lit {
 	if s.isTrue(c) {
 		return a
@@ -223,7 +257,39 @@ func (s *Solver) MuxLit(c, a, b Lit) Lit {
 	if a == b {
 		return a
 	}
-	return s.Or(s.And(c, a), s.And(c.Not(), b))
+	if c.Neg() {
+		c, a, b = c.Not(), b, a
+	}
+	switch {
+	case s.isTrue(a) || a == c:
+		return s.Or(c, b)
+	case s.isFalse(a) || a == c.Not():
+		return s.And(c.Not(), b)
+	case s.isTrue(b) || b == c.Not():
+		return s.Or(c.Not(), a)
+	case s.isFalse(b) || b == c:
+		return s.And(c, a)
+	case a == b.Not():
+		return s.Iff(c, a)
+	}
+	if g, ok := s.muxCache[[3]Lit{c, a, b}]; ok && !s.nocons {
+		s.consHits++
+		return g
+	}
+	g := s.NewLit()
+	s.gates++
+	s.SAT.AddClause(g.Not(), c.Not(), a)
+	s.SAT.AddClause(g.Not(), c, b)
+	s.SAT.AddClause(g, c.Not(), a.Not())
+	s.SAT.AddClause(g, c, b.Not())
+	// Redundant but propagation-strengthening: a and b agreeing fixes g
+	// without deciding c.
+	s.SAT.AddClause(g, a.Not(), b.Not())
+	s.SAT.AddClause(g.Not(), a, b)
+	if !s.nocons {
+		s.muxCache[[3]Lit{c, a, b}] = g
+	}
+	return g
 }
 
 // BVAnd computes the bitwise conjunction of equal-width vectors.
@@ -382,6 +448,35 @@ func (s *Solver) AtMostK(ls []Lit, k int) {
 	if n >= 2 {
 		s.SAT.AddClause(ls[n-1].Not(), reg[n-2][k-1].Not())
 	}
+}
+
+// CountLadder builds a full sequential-counter over ls and returns its
+// threshold literals: th[j] is implied whenever at least j+1 of ls are
+// true (one-directional, like AtMostK's registers). Solving under the
+// assumption th[k].Not() therefore enforces Σ ls ≤ k without committing
+// the solver to any particular bound — the incremental alternative to
+// AtMostK, letting one encoded instance serve a whole budget ladder of
+// queries by swapping assumptions instead of re-encoding.
+func (s *Solver) CountLadder(ls []Lit) []Lit {
+	n := len(ls)
+	if n == 0 {
+		return nil
+	}
+	// Row i covers prefix ls[0..i]; row[j] ⇔ at least j+1 of the prefix.
+	prev := []Lit{ls[0]}
+	for i := 1; i < n; i++ {
+		row := make([]Lit, i+1)
+		for j := range row {
+			row[j] = s.NewLit()
+		}
+		s.SAT.AddClause(ls[i].Not(), row[0])
+		for j := range prev {
+			s.SAT.AddClause(prev[j].Not(), row[j])
+			s.SAT.AddClause(ls[i].Not(), prev[j].Not(), row[j+1])
+		}
+		prev = row
+	}
+	return prev
 }
 
 // Assert requires the formula to hold.

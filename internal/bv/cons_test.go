@@ -1,0 +1,175 @@
+package bv
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/sat"
+)
+
+// buildRandomCircuit grows a random gate DAG over the given leaves using
+// the consed gate constructors, returning the root. Drawing operands from
+// the whole node list (not just the frontier) makes shared subcircuits
+// common, which is exactly what the hash-consing layer targets.
+func buildRandomCircuit(s *Solver, rng *rand.Rand, leaves []Lit, gates int) Lit {
+	nodes := append([]Lit(nil), leaves...)
+	pick := func() Lit {
+		l := nodes[rng.Intn(len(nodes))]
+		if rng.Intn(2) == 0 {
+			return l.Not()
+		}
+		return l
+	}
+	for i := 0; i < gates; i++ {
+		var g Lit
+		switch rng.Intn(4) {
+		case 0:
+			g = s.And(pick(), pick())
+		case 1:
+			g = s.Or(pick(), pick())
+		case 2:
+			g = s.Xor(pick(), pick())
+		default:
+			g = s.MuxLit(pick(), pick(), pick())
+		}
+		nodes = append(nodes, g)
+	}
+	return nodes[len(nodes)-1]
+}
+
+// TestConsedCircuitsModelEquivalent builds the same random circuits in a
+// consed and an unconsed solver and compares the root's value under every
+// assignment of the leaves: hash-consing and the extra constant folds must
+// never change circuit semantics.
+func TestConsedCircuitsModelEquivalent(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		// Same seed per solver: both build the identical gate sequence.
+		const nLeaves = 5
+		build := func(s *Solver) ([]Lit, Lit) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			leaves := make([]Lit, nLeaves)
+			for i := range leaves {
+				leaves[i] = s.NewLit()
+			}
+			return leaves, buildRandomCircuit(s, rng, leaves, 30)
+		}
+		cons := New()
+		consLeaves, consRoot := build(cons)
+		plain := New()
+		plain.DisableConsing()
+		plainLeaves, plainRoot := build(plain)
+
+		for assign := 0; assign < 1<<nLeaves; assign++ {
+			pin := func(leaves []Lit) []Lit {
+				out := make([]Lit, nLeaves)
+				for i, l := range leaves {
+					if assign&(1<<i) != 0 {
+						out[i] = l
+					} else {
+						out[i] = l.Not()
+					}
+				}
+				return out
+			}
+			if st := cons.Solve(pin(consLeaves)...); st != sat.Sat {
+				t.Fatalf("trial %d assign %b: consed solver says %v", trial, assign, st)
+			}
+			if st := plain.Solve(pin(plainLeaves)...); st != sat.Sat {
+				t.Fatalf("trial %d assign %b: unconsed solver says %v", trial, assign, st)
+			}
+			if cv, pv := cons.Value(consRoot), plain.Value(plainRoot); cv != pv {
+				t.Fatalf("trial %d assign %05b: consed root=%v unconsed root=%v",
+					trial, assign, cv, pv)
+			}
+		}
+	}
+}
+
+// TestConsingShrinksRepeatedSubcircuits encodes the same comparison
+// subcircuit many times — the shape of CEGIS counterexample circuitry,
+// where every example re-matches the same symbolic entries — and checks
+// the consed encoding emits strictly fewer CNF clauses while registering
+// cache hits.
+func TestConsingShrinksRepeatedSubcircuits(t *testing.T) {
+	encode := func(s *Solver) {
+		key := s.NewBV(12)
+		mask := s.NewBV(12)
+		for rep := 0; rep < 10; rep++ {
+			// Identical structure each repetition: the gates behind
+			// MaskedEq/Eq dedupe to a single copy under consing.
+			fired := s.MaskedEq(key, mask, s.Const(0x5A5, 12))
+			miss := s.Eq(key, s.Const(0x0FF, 12))
+			s.Assert(s.Or(fired, miss.Not()))
+		}
+	}
+	cons := New()
+	encode(cons)
+	plain := New()
+	plain.DisableConsing()
+	encode(plain)
+
+	cm, pm := cons.Metrics(), plain.Metrics()
+	if cm.Clauses >= pm.Clauses {
+		t.Errorf("consed encoding uses %d clauses, unconsed %d — expected a strict shrink",
+			cm.Clauses, pm.Clauses)
+	}
+	if cm.Vars >= pm.Vars {
+		t.Errorf("consed encoding uses %d vars, unconsed %d — expected a strict shrink",
+			cm.Vars, pm.Vars)
+	}
+	if cm.ConsHits == 0 {
+		t.Error("no cons-cache hits recorded on a fixture made of repeated subcircuits")
+	}
+	if pm.ConsHits != 0 {
+		t.Errorf("unconsed solver recorded %d cons hits; DisableConsing should bypass the caches", pm.ConsHits)
+	}
+
+	// The dedup must not change satisfiability.
+	if cs, ps := cons.Solve(), plain.Solve(); cs != ps {
+		t.Errorf("consed=%v unconsed=%v on the same instance", cs, ps)
+	}
+}
+
+// TestCountLadderMatchesAtMostK checks the soundness claim behind the
+// incremental budget ladder: for every assignment of the counted literals
+// and every threshold k, solving under the assumption ladder[k].Not() is
+// satisfiable exactly when at most k literals are true — i.e. the
+// assumption enforces precisely what a hard AtMostK(ls, k) encodes.
+func TestCountLadderMatchesAtMostK(t *testing.T) {
+	const n = 6
+	s := New()
+	ls := make([]Lit, n)
+	for i := range ls {
+		ls[i] = s.NewLit()
+	}
+	ladder := s.CountLadder(ls)
+	if len(ladder) != n {
+		t.Fatalf("ladder has %d thresholds for %d literals", len(ladder), n)
+	}
+	for assign := 0; assign < 1<<n; assign++ {
+		pinned := make([]Lit, n)
+		for i, l := range ls {
+			if assign&(1<<i) != 0 {
+				pinned[i] = l
+			} else {
+				pinned[i] = l.Not()
+			}
+		}
+		count := bits.OnesCount(uint(assign))
+		for k := 0; k < n; k++ {
+			want := sat.Unsat
+			if count <= k {
+				want = sat.Sat
+			}
+			if got := s.Solve(append(pinned[:n:n], ladder[k].Not())...); got != want {
+				t.Fatalf("assign %06b (count %d) under ¬ladder[%d]: got %v want %v",
+					assign, count, k, got, want)
+			}
+		}
+		// Sanity: with no threshold assumed, any count is permitted.
+		if got := s.Solve(pinned...); got != sat.Sat {
+			t.Fatalf("assign %06b unconstrained: %v", assign, got)
+		}
+	}
+}

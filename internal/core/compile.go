@@ -332,14 +332,17 @@ func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, ori
 		debug:      os.Getenv("PARSERHAWK_DEBUG") != "",
 		synthStart: time.Now(),
 	}
-	if opts.Opt7Parallelism && effectiveWorkers(opts) > 1 && capN > low {
+	if opts.FreshEncode && opts.Opt7Parallelism && effectiveWorkers(opts) > 1 && capN > low {
 		return eng.raceLadder(ctx, low, capN)
 	}
 	env, err := eng.newEnv()
 	if err != nil {
 		return nil, SolverStats{}, err
 	}
-	return eng.sequentialLadder(ctx, env, low, capN)
+	if opts.FreshEncode {
+		return eng.sequentialLadder(ctx, env, low, capN)
+	}
+	return eng.incrementalLadder(ctx, env, low, capN)
 }
 
 // skeletonEngine is the immutable context of one skeleton's budget ladder.
@@ -426,13 +429,43 @@ type rungResult struct {
 	stats  Stats
 }
 
-// sequentialLadder is the classic iterative-deepening loop: one budget at
-// a time, climbing on errBudgetTooSmall, with counterexamples (and the
-// verifiers' RNG state) carried up the ladder through the shared env.
+// sequentialLadder is the classic iterative-deepening loop of the
+// FreshEncode architecture: one budget at a time, each rung rebuilding its
+// solver from scratch, climbing on errBudgetTooSmall, with counterexamples
+// (and the verifiers' RNG state) carried up the ladder through the shared
+// env.
 func (eng *skeletonEngine) sequentialLadder(ctx context.Context, env *budgetEnv, low, capN int) (*Result, SolverStats, error) {
 	var collected []*rungResult
 	for budget := low; budget <= capN; budget++ {
-		r := eng.runBudget(ctx, budget, env)
+		sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, budget)
+		r := eng.runBudget(ctx, budget, env, sy)
+		collected = append(collected, r)
+		if r.err == nil {
+			return eng.assemble(r, collected)
+		}
+		if errors.Is(r.err, errBudgetTooSmall) {
+			continue
+		}
+		return nil, sumSolver(collected), r.err
+	}
+	return nil, sumSolver(collected), ErrNoSolution
+}
+
+// incrementalLadder is the default architecture: one persistent solving
+// session serves the entire budget ladder. The skeleton's symbolic entry
+// table is encoded once at the ladder cap; rung k solves under the
+// assumption that at most k entries are enabled, so an UNSAT rung's
+// learned clauses, the solver's variable activity, and every encoded
+// counterexample carry directly into rung k+1 instead of being rebuilt.
+// Rungs are strictly sequential — with nothing to re-encode, a rung
+// transition is one assumption swap, which removes the racing ladder's
+// reason to exist and makes the outcome deterministic regardless of
+// worker count.
+func (eng *skeletonEngine) incrementalLadder(ctx context.Context, env *budgetEnv, low, capN int) (*Result, SolverStats, error) {
+	sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, capN)
+	var collected []*rungResult
+	for budget := low; budget <= capN; budget++ {
+		r := eng.runBudget(ctx, budget, env, sy)
 		collected = append(collected, r)
 		if r.err == nil {
 			return eng.assemble(r, collected)
@@ -491,7 +524,8 @@ func (eng *skeletonEngine) raceLadder(ctx context.Context, low, capN int) (*Resu
 				ch <- &rungResult{budget: b, err: err}
 				return
 			}
-			ch <- eng.runBudget(raceCtx, b, env)
+			sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, b)
+			ch <- eng.runBudget(raceCtx, b, env, sy)
 		}()
 	}
 	launch()
@@ -586,10 +620,10 @@ func sumSolver(collected []*rungResult) SolverStats {
 
 // solverSnapshot converts the bit-blasting layer's counters into the
 // public SolverStats shape.
-func solverSnapshot(s *bv.Solver, solves int64) SolverStats {
+func solverSnapshot(s *bv.Solver) SolverStats {
 	m := s.Metrics()
 	return SolverStats{
-		Solves:          solves,
+		Solves:          m.Solves,
 		Decisions:       m.Decisions,
 		Propagations:    m.Propagations,
 		Conflicts:       m.Conflicts,
@@ -599,16 +633,24 @@ func solverSnapshot(s *bv.Solver, solves int64) SolverStats {
 		Clauses:         m.Clauses,
 		Gates:           m.Gates,
 		Vars:            m.Vars,
+		RetainedClauses: m.RetainedLearnts,
+		ConsHits:        m.ConsHits,
 	}
 }
 
-// runBudget runs the CEGIS loop at one entry budget in env: feed the
-// pool's examples, solve, verify, and either return a validated Result,
-// errBudgetTooSmall to climb the ladder, or errCanceled when ctx fired
-// mid-search. An interrupted solve or verification is never mistaken for
-// UNSAT / "no counterexample": both carry explicit interrupt signals
-// (sat.ErrCanceled, the verifier's interrupted flag).
-func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budgetEnv) *rungResult {
+// runBudget runs the CEGIS loop at one entry budget in env over the given
+// synthesizer: feed the pool's examples, solve, verify, and either return
+// a validated Result, errBudgetTooSmall to climb the ladder, or
+// errCanceled when ctx fired mid-search. An interrupted solve or
+// verification is never mistaken for UNSAT / "no counterexample": both
+// carry explicit interrupt signals (sat.ErrCanceled, the verifier's
+// interrupted flag).
+//
+// The synthesizer may be shared across rungs (the incremental ladder
+// passes one persistent session), so the rung's SolverStats are computed
+// as the delta from the counters it entered with — summing rung stats
+// never double-counts session effort.
+func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budgetEnv, sy *synthesizer) *rungResult {
 	out := &rungResult{budget: budget}
 	stop := func() bool {
 		select {
@@ -618,52 +660,87 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 			return false
 		}
 	}
-	if stop() {
-		out.err = errCanceled
+
+	// Report this rung's solver effort as the counter movement past what
+	// earlier rungs already claimed (sy.reported) — the first rung thereby
+	// absorbs construction-time encoding, and summing rung deltas
+	// reconstructs the session's totals exactly.
+	claim := func() SolverStats {
+		cur := solverSnapshot(sy.s)
+		delta := cur.Sub(sy.reported)
+		sy.reported = cur
+		return delta
+	}
+	// Query capture (Options.QuerySink): remember the rung's hardest solve,
+	// serialized at solve time so the dump is the exact instance the solver
+	// saw, and report it once when the rung finishes.
+	var dump *QueryDump
+	capture := func(status sat.Status) {
+		if eng.opts.QuerySink == nil {
+			return
+		}
+		delta := sy.sess.LastCall().Delta
+		if dump != nil && delta.Conflicts <= dump.Conflicts {
+			return
+		}
+		data, err := sy.sess.DumpLastQuery()
+		if err != nil {
+			return
+		}
+		dump = &QueryDump{
+			Spec:      eng.effSynth.Name,
+			Skeleton:  eng.synthSk.Name,
+			Budget:    budget,
+			Examples:  sy.fed,
+			Status:    status.String(),
+			Conflicts: delta.Conflicts,
+			DIMACS:    data,
+		}
+	}
+	fin := func(err error) *rungResult {
+		out.stats.Solver = claim()
+		out.err = err
+		if dump != nil {
+			eng.opts.QuerySink(*dump)
+		}
 		return out
 	}
-
-	sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, budget)
-	var solves int64
-	fin := func(err error) *rungResult {
-		out.stats.Solver = solverSnapshot(sy.s, solves)
-		out.err = err
-		return out
+	if stop() {
+		return fin(errCanceled)
 	}
 	if eng.debug {
-		fmt.Fprintf(os.Stderr, "[%s] budget=%d examples=%d elapsed=%.1fs\n",
-			eng.synthSk.Name, budget, env.examples.size(), time.Since(eng.synthStart).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s] budget=%d examples=%d fed=%d elapsed=%.1fs\n",
+			eng.synthSk.Name, budget, env.examples.size(), sy.fed, time.Since(eng.synthStart).Seconds())
 	}
 
-	fed := 0
 	for {
 		if stop() {
 			return fin(errCanceled)
 		}
 		tb := time.Now()
-		for _, ex := range env.examples.pending(fed) {
+		for _, ex := range env.examples.pending(sy.fed) {
 			if stop() {
 				return fin(errCanceled)
 			}
 			if err := sy.addTestCase(ex.in, ex.out); err != nil {
 				return fin(err)
 			}
-			fed++
+			sy.fed++
 		}
 		if eng.debug {
 			fmt.Fprintf(os.Stderr, "  [b=%d] build=%.2fs vars=%d\n", budget, time.Since(tb).Seconds(), sy.s.NumVars())
 		}
 		t0 := time.Now()
-		status := sy.solve(stop)
-		solves++
+		status := sy.solveAt(budget, stop)
 		solveTime := time.Since(t0)
 		out.stats.SynthesisTime += solveTime
+		capture(status)
 		iter := IterationStats{
 			Budget:    budget,
-			Examples:  fed,
+			Examples:  sy.fed,
 			Status:    status.String(),
 			SolveTime: solveTime,
-			Solver:    solverSnapshot(sy.s, solves),
+			Solver:    solverSnapshot(sy.s),
 		}
 		if eng.debug {
 			fmt.Fprintf(os.Stderr, "  [b=%d] solve=%.2fs status=%v\n", budget, solveTime.Seconds(), status)
@@ -716,7 +793,11 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 			o2 := eng.opts
 			o2.Opt2BitWidthMin = false
 			res, subSolver, suberr := compileSkeleton(ctx, eng.spec, eng.effOrig, eng.effOrig, eng.origSk, eng.origSk, eng.profile, o2)
-			own := solverSnapshot(sy.s, solves)
+			own := claim()
+			if dump != nil {
+				eng.opts.QuerySink(*dump)
+				dump = nil
+			}
 			if suberr != nil {
 				own.Add(subSolver)
 				out.stats.Solver = own
@@ -760,9 +841,12 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 		out.stats.EntryBudget = budget
 		out.stats.SolverVars = sy.s.NumVars()
 		out.stats.TestCases = env.examples.size()
-		out.stats.Solver = solverSnapshot(sy.s, solves)
+		out.stats.Solver = claim()
 		out.stats.Elapsed = time.Since(eng.synthStart)
 		out.res = &Result{Program: final, Resources: final.Resources(), Stats: out.stats}
+		if dump != nil {
+			eng.opts.QuerySink(*dump)
+		}
 		return out
 	}
 }

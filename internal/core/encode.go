@@ -9,24 +9,41 @@ import (
 	"parserhawk/internal/hw"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/sat"
+	"parserhawk/internal/solve"
 	"parserhawk/internal/tcam"
 )
 
-// synthesizer is one synthesis subproblem: a skeleton plus an entry
-// budget, encoded over the bitvector solver. Test cases (input/output
-// examples) are added incrementally by the CEGIS loop; each one appends
-// the unrolled FSM-simulation circuit of Figure 9 evaluated on that
-// concrete input, with the TCAM entry contents left symbolic.
+// synthesizer is one synthesis subproblem: a skeleton's symbolic entry
+// table encoded once over a persistent solving session. Test cases
+// (input/output examples) are added incrementally by the CEGIS loop; each
+// one appends the unrolled FSM-simulation circuit of Figure 9 evaluated on
+// that concrete input, with the TCAM entry contents left symbolic.
+//
+// In the default incremental mode the table is encoded at the entry-budget
+// ladder's cap and each rung k solves under the assumption "at most k
+// entries enabled" (the CountLadder threshold literal), so learned clauses,
+// variable activity, and every previously encoded counterexample carry
+// across rungs. With Options.FreshEncode the old architecture applies: one
+// synthesizer per rung with the budget baked in as a hard AtMostK.
 type synthesizer struct {
 	spec    *pir.Spec
 	sk      *skeleton
 	profile hw.Profile
 	opts    Options
-	budget  int
+	budget  int // hard entry cap: the rung budget (FreshEncode) or the ladder cap
 
+	sess    *solve.Session
 	s       *bv.Solver
+	ladder  []bv.Lit     // incremental mode: count thresholds over all enabled lits
+	fed     int          // CEGIS examples already encoded
 	entries [][]entryVar // [state][entry]
 	targets int          // number of transition targets: len(states) + accept + reject
+
+	// reported is the cumulative counter snapshot already attributed to a
+	// finished rung. Each rung reports the movement past this mark and
+	// advances it, so construction-time encoding lands in the first rung
+	// and a shared session's effort is counted exactly once across rungs.
+	reported SolverStats
 
 	extractedFields []string // fields some skeleton state extracts, sorted
 }
@@ -50,15 +67,21 @@ const (
 )
 
 // newSynthesizer builds the symbolic entry table for a skeleton under a
-// global entry budget.
+// global entry budget (the rung budget in FreshEncode mode, the ladder cap
+// otherwise).
 func newSynthesizer(spec *pir.Spec, sk *skeleton, profile hw.Profile, opts Options, budget int) *synthesizer {
+	sess := solve.New()
+	if opts.QuerySink != nil {
+		sess = solve.NewRecording()
+	}
 	sy := &synthesizer{
 		spec:    spec,
 		sk:      sk,
 		profile: profile,
 		opts:    opts,
 		budget:  budget,
-		s:       bv.New(),
+		sess:    sess,
+		s:       sess.Solver(),
 		targets: len(sk.States) + 2,
 	}
 	seen := map[string]bool{}
@@ -139,10 +162,38 @@ func newSynthesizer(spec *pir.Spec, sk *skeleton, profile hw.Profile, opts Optio
 		}
 		sy.entries = append(sy.entries, evs)
 	}
-	if budget < len(allEnabled) {
-		sy.s.AtMostK(allEnabled, budget)
+	if opts.FreshEncode {
+		// Old architecture: the budget is a hard cardinality constraint, so
+		// every rung re-encodes the whole instance.
+		if budget < len(allEnabled) {
+			sy.s.AtMostK(allEnabled, budget)
+		}
+	} else {
+		// Incremental sessions: encode a full counting ladder once; rung k
+		// becomes the assumption ladder[k].Not() ("not k+1 or more enabled"),
+		// so climbing the budget ladder swaps one assumption literal instead
+		// of rebuilding and re-bit-blasting the instance.
+		sy.ladder = sy.s.CountLadder(allEnabled)
 	}
 	return sy
+}
+
+// solveAt runs the SAT search for one entry-budget rung; cancel aborts
+// long searches. In incremental mode the budget is applied as a scoped
+// assumption over the counting ladder; in FreshEncode mode the budget was
+// baked in at construction and must match.
+func (sy *synthesizer) solveAt(budget int, cancel func() bool) sat.Status {
+	if sy.opts.FreshEncode {
+		if budget != sy.budget {
+			panic("core: FreshEncode synthesizer solved at a different budget than it encodes")
+		}
+		return sy.sess.Solve(cancel)
+	}
+	if budget < len(sy.ladder) {
+		scope := sy.sess.Assume(sy.ladder[budget].Not())
+		defer scope.Drop()
+	}
+	return sy.sess.Solve(cancel)
 }
 
 // conf is one concrete (state, cursor) configuration during simulation of
@@ -312,9 +363,11 @@ func (sy *synthesizer) addTestCase(input bitstream.Bits, expected pir.Result) er
 	}
 
 	// Configurations still live after maxIter iterations are rejected by
-	// the device (Figure 6 exits after K table visits).
-	for _, l := range at {
-		rejAny = s.Or(rejAny, l)
+	// the device (Figure 6 exits after K table visits). Deterministic
+	// order: the shape of this Or-chain influences CDCL search, and map
+	// order would make compile times irreproducible.
+	for _, c := range sortedConfs(at) {
+		rejAny = s.Or(rejAny, at[c])
 	}
 
 	// Observational equivalence assertions (§4).
@@ -415,12 +468,6 @@ func (sy *synthesizer) maxIterations(input bitstream.Bits) int {
 		k = pir.DefaultMaxIterations
 	}
 	return k
-}
-
-// solve runs the SAT search; cancel aborts long searches.
-func (sy *synthesizer) solve(cancel func() bool) sat.Status {
-	sy.s.SAT.Cancel = cancel
-	return sy.s.Solve()
 }
 
 // extract materializes the solver model as a concrete TCAM program over

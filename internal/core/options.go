@@ -80,6 +80,25 @@ type Options struct {
 	// otherwise.
 	ExhaustPortfolio bool
 
+	// FreshEncode disables incremental solving sessions and restores the
+	// old architecture: every entry-budget rung rebuilds a fresh solver,
+	// re-bit-blasts the symbolic entry table, and re-encodes every CEGIS
+	// example accumulated so far (with Opt7, adjacent rungs race in
+	// parallel). Off — the default — one persistent session per skeleton
+	// encodes the table once at the ladder cap and each rung is a solve
+	// under a cardinality assumption, carrying learned clauses, variable
+	// activity, and encoded counterexamples across rungs. The A/B harness
+	// and CI smoke job flip this to measure what the sessions save, exactly
+	// as ExhaustPortfolio does for racing.
+	FreshEncode bool
+
+	// QuerySink, when non-nil, enables DIMACS capture: each budget rung
+	// reports its most-conflicted SAT query (instance plus that solve's
+	// assumptions as unit clauses) for offline solver debugging. The sink
+	// may be called concurrently from racing skeleton attempts. Capture
+	// costs one clause copy per AddClause; leave nil otherwise.
+	QuerySink func(QueryDump)
+
 	// Seed makes test-case generation deterministic.
 	Seed int64
 }
@@ -153,9 +172,11 @@ type Stats struct {
 	// rungs that lost the race or were canceled, so it measures total search
 	// effort, not just the winner's.
 	Solver SolverStats `json:"solver"`
-	// Iterations is the winning budget runner's per-CEGIS-iteration trace.
-	// Solver snapshots within it are cumulative for that runner's solver, so
-	// they grow monotonically across the trace.
+	// Iterations is the winning budget rung's per-CEGIS-iteration trace.
+	// Solver snapshots within it are cumulative for the solver that ran the
+	// rung — the skeleton's persistent session (which may enter the rung
+	// with non-zero counters from earlier rungs), or the rung's own solver
+	// in FreshEncode mode — so they grow monotonically across the trace.
 	Iterations []IterationStats `json:"iterations,omitempty"`
 }
 
@@ -174,6 +195,17 @@ type SolverStats struct {
 	Clauses         int64 `json:"clauses"` // bit-blasted problem clauses
 	Gates           int64 `json:"gates"`   // Tseitin gates materialized
 	Vars            int64 `json:"vars"`    // CNF variables allocated
+
+	// RetainedClauses sums, over every Solve call, the learned clauses
+	// alive when the call started — CDCL work reused from earlier calls in
+	// the same session rather than re-derived. Always zero in FreshEncode
+	// mode within a rung's first solve and across rungs; with incremental
+	// sessions it measures what the persistent clause database was worth.
+	RetainedClauses int64 `json:"retained_clauses"`
+	// ConsHits counts gate constructions the bit-blaster's hash-consing
+	// caches answered without emitting CNF — duplicate subcircuits (mostly
+	// repeated counterexample circuitry) that were deduplicated.
+	ConsHits int64 `json:"cons_hits"`
 }
 
 // Add accumulates another snapshot into s.
@@ -188,11 +220,52 @@ func (s *SolverStats) Add(o SolverStats) {
 	s.Clauses += o.Clauses
 	s.Gates += o.Gates
 	s.Vars += o.Vars
+	s.RetainedClauses += o.RetainedClauses
+	s.ConsHits += o.ConsHits
 }
 
-// IterationStats records one CEGIS iteration of one budget runner: the
+// Sub returns the counter movement from an earlier snapshot o to s. Every
+// field is monotone over one solver's lifetime, so on snapshots of the
+// same session the result is the effort spent in between — how per-rung
+// deltas are carved out of a shared session without double counting.
+func (s SolverStats) Sub(o SolverStats) SolverStats {
+	return SolverStats{
+		Solves:          s.Solves - o.Solves,
+		Decisions:       s.Decisions - o.Decisions,
+		Propagations:    s.Propagations - o.Propagations,
+		Conflicts:       s.Conflicts - o.Conflicts,
+		LearnedClauses:  s.LearnedClauses - o.LearnedClauses,
+		LearnedLiterals: s.LearnedLiterals - o.LearnedLiterals,
+		Restarts:        s.Restarts - o.Restarts,
+		Clauses:         s.Clauses - o.Clauses,
+		Gates:           s.Gates - o.Gates,
+		Vars:            s.Vars - o.Vars,
+		RetainedClauses: s.RetainedClauses - o.RetainedClauses,
+		ConsHits:        s.ConsHits - o.ConsHits,
+	}
+}
+
+// QueryDump is one captured SAT query for offline debugging: the DIMACS
+// CNF of the instance at solve time (assumptions included as unit
+// clauses) plus enough metadata to tell which subproblem produced it.
+// Options.QuerySink receives the most-conflicted query of each budget
+// rung; a sink keeping the max-Conflicts dump sees the hardest query of
+// the whole compilation.
+type QueryDump struct {
+	Spec     string // specification name
+	Skeleton string // structural subproblem
+	Budget   int    // entry-budget rung
+	Examples int    // CEGIS examples encoded when the query ran
+	Status   string // sat, unsat, or unknown
+	// Conflicts is the solve's own conflict count (per-call delta), the
+	// hardness measure used to pick which query to keep.
+	Conflicts int64
+	DIMACS    []byte
+}
+
+// IterationStats records one CEGIS iteration of one budget rung: the
 // wall time split between the synthesis solve and the verification search,
-// and a cumulative snapshot of the runner's solver counters taken right
+// and a cumulative snapshot of the rung's solver counters taken right
 // after the iteration's solve returned.
 type IterationStats struct {
 	Budget     int           `json:"budget"`

@@ -760,17 +760,3 @@ func widthMask(w int) uint64 {
 	}
 	return (uint64(1) << uint(w)) - 1
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

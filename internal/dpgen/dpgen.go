@@ -419,7 +419,7 @@ func sliceKeyParts(key []pir.KeyPart, lo, hi int) []pir.KeyPart {
 		w := p.BitWidth()
 		plo, phi := pos, pos+w
 		pos = phi
-		s, e := maxInt(plo, lo), minInt(phi, hi)
+		s, e := max(plo, lo), min(phi, hi)
 		if s >= e {
 			continue
 		}
@@ -433,18 +433,4 @@ func widthMask(w int) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << uint(w)) - 1
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

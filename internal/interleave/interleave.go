@@ -102,7 +102,7 @@ func (st Stage) withImports() (*pir.Spec, int, error) {
 // the unconsumed remainder of the packet.
 func spliceInput(st Stage, dict bitstream.Dict, input bitstream.Bits, pos int) bitstream.Bits {
 	if len(st.Imports) == 0 {
-		return input[minInt(pos, len(input)):]
+		return input[min(pos, len(input)):]
 	}
 	var pre bitstream.Bits
 	for _, f := range st.Imports {
@@ -110,14 +110,7 @@ func spliceInput(st Stage, dict bitstream.Dict, input bitstream.Bits, pos int) b
 		v := dict[f]
 		pre = append(pre, bitstream.FromUint(v.Uint(0, fd.Width), fd.Width)...)
 	}
-	return pre.Concat(input[minInt(pos, len(input)):])
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return pre.Concat(input[min(pos, len(input)):])
 }
 
 // Program is a compiled interleaved parser: one TCAM program per

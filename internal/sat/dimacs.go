@@ -18,22 +18,42 @@ import (
 // instance is exactly equisatisfiable with the original. Variables are
 // emitted 1-based per the format.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
+	return s.WriteDIMACSUnder(w)
+}
+
+// WriteDIMACSUnder writes the instance with the given assumption literals
+// appended as unit clauses, so the exported file is equisatisfiable with a
+// Solve(assumptions...) call on this solver. With no assumptions it is
+// exactly WriteDIMACS.
+func (s *Solver) WriteDIMACSUnder(w io.Writer, assumptions ...Lit) error {
 	if !s.RecordOriginal {
 		return fmt.Errorf("sat: WriteDIMACS requires RecordOriginal to be set before adding clauses")
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.original)); err != nil {
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.original)+len(assumptions)); err != nil {
+		return err
+	}
+	writeLit := func(l Lit) error {
+		v := l.Var() + 1
+		if l.Neg() {
+			v = -v
+		}
+		_, err := fmt.Fprintf(bw, "%d ", v)
 		return err
 	}
 	for _, c := range s.original {
 		for _, l := range c {
-			v := l.Var() + 1
-			if l.Neg() {
-				v = -v
-			}
-			if _, err := fmt.Fprintf(bw, "%d ", v); err != nil {
+			if err := writeLit(l); err != nil {
 				return err
 			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	for _, a := range assumptions {
+		if err := writeLit(a); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintln(bw, "0"); err != nil {
 			return err

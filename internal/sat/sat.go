@@ -118,6 +118,9 @@ type Solver struct {
 	learnedLN int64
 	clausesN  int64
 	ticks     int64
+	solvesN   int64
+	retainedN int64   // Σ over Solve calls of learned clauses alive at entry
+	lastDelta Metrics // counter movement of the most recent Solve call
 
 	// Cancel, when non-nil, is polled periodically; returning true aborts
 	// the solve with Unknown and Err() == ErrCanceled.
@@ -169,6 +172,13 @@ type Metrics struct {
 	Restarts        int64 `json:"restarts"`
 	Clauses         int64 `json:"clauses"`
 	Vars            int64 `json:"vars"`
+	Solves          int64 `json:"solves"`
+	// RetainedLearnts sums, over every Solve call, the learned clauses that
+	// were alive in the database when the call started — search work carried
+	// over from earlier calls instead of re-derived. A solver that is rebuilt
+	// for every query always reports zero; an incremental session reports how
+	// much the persistent clause database was worth.
+	RetainedLearnts int64 `json:"retained_learnts"`
 }
 
 // Add accumulates another snapshot into m (for aggregating across the
@@ -182,6 +192,26 @@ func (m *Metrics) Add(o Metrics) {
 	m.Restarts += o.Restarts
 	m.Clauses += o.Clauses
 	m.Vars += o.Vars
+	m.Solves += o.Solves
+	m.RetainedLearnts += o.RetainedLearnts
+}
+
+// Sub returns the counter movement from an earlier snapshot o to m. All
+// fields are monotone over a solver's lifetime, so the result is the exact
+// effort spent between the two snapshots.
+func (m Metrics) Sub(o Metrics) Metrics {
+	return Metrics{
+		Decisions:       m.Decisions - o.Decisions,
+		Propagations:    m.Propagations - o.Propagations,
+		Conflicts:       m.Conflicts - o.Conflicts,
+		LearnedClauses:  m.LearnedClauses - o.LearnedClauses,
+		LearnedLiterals: m.LearnedLiterals - o.LearnedLiterals,
+		Restarts:        m.Restarts - o.Restarts,
+		Clauses:         m.Clauses - o.Clauses,
+		Vars:            m.Vars - o.Vars,
+		Solves:          m.Solves - o.Solves,
+		RetainedLearnts: m.RetainedLearnts - o.RetainedLearnts,
+	}
 }
 
 // Metrics returns the solver's cumulative counters.
@@ -195,8 +225,20 @@ func (s *Solver) Metrics() Metrics {
 		Restarts:        s.restartsN,
 		Clauses:         s.clausesN,
 		Vars:            int64(len(s.assign)),
+		Solves:          s.solvesN,
+		RetainedLearnts: s.retainedN,
 	}
 }
+
+// LastSolveDelta returns the counter movement of the most recent Solve
+// call alone: how many decisions, conflicts, learned clauses, and so on
+// that single query cost, as opposed to the solver's lifetime totals.
+func (s *Solver) LastSolveDelta() Metrics { return s.lastDelta }
+
+// LearntsLive returns the number of learned clauses currently alive in
+// the database (reduceDB shrinks this; the cumulative LearnedClauses
+// metric does not).
+func (s *Solver) LearntsLive() int { return len(s.learnts) }
 
 // Err returns the reason a solve ended Unknown, if any.
 func (s *Solver) Err() error { return s.err }
@@ -517,8 +559,20 @@ func luby(i int64) int64 {
 
 // Solve searches for a model extending the given assumption literals.
 // On Sat, Model reads the satisfying assignment. On Unsat under
-// assumptions, the instance may still be satisfiable under others.
+// assumptions, the instance may still be satisfiable under others — the
+// solver stays usable: clauses learned during the call (including those
+// mentioning assumption literals, which are implied by the formula alone)
+// are retained for later calls.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	before := s.Metrics()
+	s.solvesN++
+	s.retainedN += int64(len(s.learnts))
+	st := s.solve(assumptions...)
+	s.lastDelta = s.Metrics().Sub(before)
+	return st
+}
+
+func (s *Solver) solve(assumptions ...Lit) Status {
 	s.err = nil
 	if s.unsatForce {
 		return Unsat
@@ -556,6 +610,19 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			// Do not analyze below the assumption levels: if the conflict
 			// is forced by assumptions, report Unsat for this call.
 			learned, bt := s.analyze(confl)
+			if len(learned) == 1 {
+				// A unit learned clause is a root-level fact independent of
+				// the assumptions. Enqueue it at level 0 — placing it at the
+				// clamped assumption level would put a second nil-reason
+				// literal inside that level and corrupt later conflict
+				// analysis. The loop re-places the assumptions afterwards and
+				// reports Unsat if the new fact falsifies one.
+				s.backtrackTo(0)
+				s.record(learned)
+				s.varInc /= 0.95
+				s.claInc /= 0.999
+				continue
+			}
 			if bt < s.assumptionLevel(assumptions) {
 				bt = s.assumptionLevel(assumptions)
 				s.backtrackTo(bt)

@@ -1,0 +1,183 @@
+// Package solve owns incremental solving sessions: one persistent
+// bit-blasted solver (internal/bv over internal/sat) that answers a whole
+// conversation of related queries instead of being rebuilt per query.
+//
+// ParserHawk's CEGIS loop issues long chains of nearly identical SMT
+// queries — the same symbolic entry table plus one more counterexample
+// and a slightly larger entry budget each round. A Session keeps the
+// encoded instance, the learned-clause database, and the VSIDS activity
+// across those calls; per-query variation (the entry-budget rung, a
+// racing sibling's hypothesis) is expressed as assumption scopes, the
+// MiniSat solve-under-assumptions technique. The session also keeps
+// per-call effort deltas so callers can report how much work the
+// persistent state saved versus what each query re-derived.
+package solve
+
+import (
+	"bytes"
+	"fmt"
+
+	"parserhawk/internal/bv"
+	"parserhawk/internal/sat"
+)
+
+// Session is one incremental solving conversation over a persistent
+// solver. It is not safe for concurrent use: a session belongs to one
+// goroutine (ParserHawk gives each skeleton attempt its own).
+type Session struct {
+	s      *bv.Solver
+	scopes []*Scope
+	calls  []Call
+
+	lastAssumps []bv.Lit // assumptions of the most recent Solve call
+}
+
+// Call records one Solve call's outcome and cost: the per-call counter
+// movement (not lifetime totals) plus how many learned clauses the call
+// inherited from earlier calls.
+type Call struct {
+	Status      sat.Status
+	Assumptions int
+	// Delta is the search effort this call alone spent.
+	Delta sat.Metrics
+	// RetainedLearnts is the learned-clause database size entering the
+	// call — work reused rather than re-derived.
+	RetainedLearnts int64
+}
+
+// ReuseStats summarizes cross-call reuse over the session's lifetime.
+type ReuseStats struct {
+	Solves int64 `json:"solves"`
+	// RetainedLearnts sums each call's inherited learned clauses.
+	RetainedLearnts int64 `json:"retained_learnts"`
+	// LearnedClauses is the total ever learned across all calls.
+	LearnedClauses int64 `json:"learned_clauses"`
+}
+
+// New returns a session over a fresh solver.
+func New() *Session { return Wrap(bv.New()) }
+
+// NewRecording returns a session whose solver logs every clause so
+// DumpLastQuery can export queries as DIMACS.
+func NewRecording() *Session { return Wrap(bv.NewRecording()) }
+
+// Wrap adopts an existing solver into a session. The solver must not be
+// solved through any other path afterwards, or the session's per-call
+// accounting goes stale.
+func Wrap(s *bv.Solver) *Session { return &Session{s: s} }
+
+// Solver exposes the underlying bit-blaster for encoding. Constraints
+// added here are permanent; per-query constraints belong in a Scope.
+func (se *Session) Solver() *bv.Solver { return se.s }
+
+// Scope is a set of assumption literals active in every Solve call until
+// it is dropped or committed. Scopes are how one encoded instance serves
+// many variants of a query: a budget rung assumes "no more than k entries
+// enabled", a racing sibling assumes a different k, and neither pollutes
+// the shared clause database with its hypothesis.
+type Scope struct {
+	se     *Session
+	lits   []bv.Lit
+	closed bool
+}
+
+// Assume opens a scope holding the given assumption literals.
+func (se *Session) Assume(lits ...bv.Lit) *Scope {
+	sc := &Scope{se: se, lits: append([]bv.Lit(nil), lits...)}
+	se.scopes = append(se.scopes, sc)
+	return sc
+}
+
+// Drop deactivates the scope: its literals stop being assumed. Dropping
+// an already-closed scope is a no-op.
+func (sc *Scope) Drop() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	kept := sc.se.scopes[:0]
+	for _, s := range sc.se.scopes {
+		if s != sc {
+			kept = append(kept, s)
+		}
+	}
+	sc.se.scopes = kept
+}
+
+// Commit asserts the scope's literals permanently (they become unit
+// clauses) and deactivates the scope. Use it when a hypothesis has been
+// promoted to a fact the rest of the session may rely on.
+func (sc *Scope) Commit() {
+	if sc.closed {
+		return
+	}
+	for _, l := range sc.lits {
+		sc.se.s.Assert(l)
+	}
+	sc.Drop()
+}
+
+// assumptions collects the open scopes' literals in opening order.
+func (se *Session) assumptions() []bv.Lit {
+	var out []bv.Lit
+	for _, sc := range se.scopes {
+		out = append(out, sc.lits...)
+	}
+	return out
+}
+
+// Solve runs the SAT search under every open scope's assumptions. cancel,
+// when non-nil, is polled inside the CDCL loop; a canceled solve returns
+// sat.Unknown, never Unsat. The call's effort delta is recorded and
+// available via LastCall.
+func (se *Session) Solve(cancel func() bool) sat.Status {
+	se.s.SAT.Cancel = cancel
+	assumps := se.assumptions()
+	retained := int64(se.s.SAT.LearntsLive())
+	st := se.s.Solve(assumps...)
+	se.lastAssumps = assumps
+	se.calls = append(se.calls, Call{
+		Status:          st,
+		Assumptions:     len(assumps),
+		Delta:           se.s.SAT.LastSolveDelta(),
+		RetainedLearnts: retained,
+	})
+	return st
+}
+
+// Calls returns the per-call trace.
+func (se *Session) Calls() []Call { return se.calls }
+
+// LastCall returns the most recent call's record; the zero Call before
+// any Solve.
+func (se *Session) LastCall() Call {
+	if len(se.calls) == 0 {
+		return Call{}
+	}
+	return se.calls[len(se.calls)-1]
+}
+
+// Metrics snapshots the solver's cumulative counters.
+func (se *Session) Metrics() bv.Metrics { return se.s.Metrics() }
+
+// Reuse summarizes how much the session's persistence was worth.
+func (se *Session) Reuse() ReuseStats {
+	m := se.s.Metrics()
+	return ReuseStats{
+		Solves:          m.Solves,
+		RetainedLearnts: m.RetainedLearnts,
+		LearnedClauses:  m.LearnedClauses,
+	}
+}
+
+// DumpLastQuery exports the most recent Solve call's instance as DIMACS
+// CNF — every clause encoded so far plus that call's assumptions as unit
+// clauses — so the exact query can be replayed by an external solver. The
+// session must have been created with NewRecording.
+func (se *Session) DumpLastQuery() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := se.s.SAT.WriteDIMACSUnder(&buf, se.lastAssumps...); err != nil {
+		return nil, fmt.Errorf("solve: dumping query: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,169 @@
+package solve
+
+import (
+	"bytes"
+	"testing"
+
+	"parserhawk/internal/bv"
+	"parserhawk/internal/sat"
+)
+
+// TestScopesGateOneInstance drives one encoded instance through several
+// assumption scopes: the same session must answer differently under
+// different hypotheses without any re-encoding, and recover once a scope
+// is dropped.
+func TestScopesGateOneInstance(t *testing.T) {
+	se := New()
+	s := se.Solver()
+	a, b := s.NewLit(), s.NewLit()
+	s.Assert(s.Or(a, b)) // a ∨ b
+
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("unconstrained solve: %v", st)
+	}
+
+	sc := se.Assume(a.Not(), b.Not())
+	if st := se.Solve(nil); st != sat.Unsat {
+		t.Fatalf("under ¬a∧¬b: got %v want Unsat", st)
+	}
+	if c := se.LastCall(); c.Assumptions != 2 {
+		t.Errorf("LastCall.Assumptions=%d want 2", c.Assumptions)
+	}
+
+	sc.Drop()
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("after dropping the scope: got %v want Sat — the hypothesis leaked", st)
+	}
+	sc.Drop() // double drop is a no-op
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("after double drop: %v", st)
+	}
+}
+
+// TestCommitMakesHypothesisPermanent promotes a scope to asserted facts
+// and checks the session afterwards behaves as if the literals had been
+// part of the instance all along.
+func TestCommitMakesHypothesisPermanent(t *testing.T) {
+	se := New()
+	s := se.Solver()
+	a, b := s.NewLit(), s.NewLit()
+	s.Assert(s.Or(a, b))
+
+	sc := se.Assume(a.Not())
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("under ¬a: %v", st)
+	}
+	sc.Commit()
+	// ¬a is now permanent: assuming ¬b must contradict a ∨ b.
+	sc2 := se.Assume(b.Not())
+	if st := se.Solve(nil); st != sat.Unsat {
+		t.Fatalf("after committing ¬a, under ¬b: got %v want Unsat", st)
+	}
+	sc2.Drop()
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("after committing ¬a alone: %v", st)
+	}
+	if !s.SAT.Model(b.Var()) {
+		t.Error("model should set b: a is committed false and a ∨ b holds")
+	}
+}
+
+// TestCallTrace checks the per-call accounting: every Solve is recorded
+// with its own effort delta, and the deltas sum to the session totals.
+func TestCallTrace(t *testing.T) {
+	se := New()
+	s := se.Solver()
+	xs := make([]bv.Lit, 8)
+	for i := range xs {
+		xs[i] = s.NewLit()
+	}
+	// Odd parity over the chain gives the search something to decide.
+	acc := xs[0]
+	for _, l := range xs[1:] {
+		acc = s.Xor(acc, l)
+	}
+	s.Assert(acc)
+
+	for i := 0; i < 4; i++ {
+		if st := se.Solve(nil); st != sat.Sat {
+			t.Fatalf("solve %d: %v", i, st)
+		}
+	}
+	calls := se.Calls()
+	if len(calls) != 4 {
+		t.Fatalf("recorded %d calls, want 4", len(calls))
+	}
+	var deltaSum int64
+	for i, c := range calls {
+		if c.Status != sat.Sat {
+			t.Errorf("call %d status %v", i, c.Status)
+		}
+		if c.Delta.Solves != 1 {
+			t.Errorf("call %d delta counts %d solves, want exactly 1", i, c.Delta.Solves)
+		}
+		deltaSum += c.Delta.Decisions
+	}
+	if got := se.Metrics().Decisions; got != deltaSum {
+		t.Errorf("per-call decision deltas sum to %d, session total is %d", deltaSum, got)
+	}
+	if r := se.Reuse(); r.Solves != 4 {
+		t.Errorf("Reuse.Solves=%d want 4", r.Solves)
+	}
+}
+
+// TestDumpLastQueryRoundTrip exports a query under assumptions and replays
+// it through the DIMACS reader: the fresh solver must reproduce the status
+// of the original call, proving the dump captures the exact instance with
+// the assumptions standing in as unit clauses.
+func TestDumpLastQueryRoundTrip(t *testing.T) {
+	se := NewRecording()
+	s := se.Solver()
+	a, b, c := s.NewLit(), s.NewLit(), s.NewLit()
+	s.Assert(s.Or(a, b))
+	s.Assert(s.Or(b, c))
+
+	sc := se.Assume(b.Not())
+	if st := se.Solve(nil); st != sat.Sat {
+		t.Fatalf("under ¬b: %v", st)
+	}
+	data, err := se.DumpLastQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sat.ReadDIMACS(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := replay.Solve(); st != sat.Sat {
+		t.Fatalf("replayed SAT query: %v", st)
+	}
+	sc.Drop()
+
+	se.Assume(a.Not(), b.Not())
+	if st := se.Solve(nil); st != sat.Unsat {
+		t.Fatalf("under ¬a∧¬b: %v", st)
+	}
+	data, err = se.DumpLastQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err = sat.ReadDIMACS(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := replay.Solve(); st != sat.Unsat {
+		t.Fatalf("replayed UNSAT query: %v", st)
+	}
+}
+
+// TestDumpRequiresRecording checks the error path: a session without
+// clause recording cannot export DIMACS.
+func TestDumpRequiresRecording(t *testing.T) {
+	se := New()
+	s := se.Solver()
+	s.Assert(s.NewLit())
+	se.Solve(nil)
+	if _, err := se.DumpLastQuery(); err == nil {
+		t.Fatal("DumpLastQuery on a non-recording session should error")
+	}
+}

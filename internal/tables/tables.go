@@ -64,6 +64,10 @@ type Config struct {
 	RunOrig bool
 	// Filter restricts benchmarks to those whose name contains the string.
 	Filter string
+	// FreshEncode disables ParserHawk's incremental solving sessions:
+	// every entry-budget rung rebuilds its solver from scratch. The A/B
+	// smoke job runs the harness in both modes and compares.
+	FreshEncode bool
 	// StatsSink, when non-nil, receives one RunStats record per ParserHawk
 	// compilation the harness performs (both opt and orig modes). hawkbench
 	// -stats uses it to collect the solver-level JSON report.
@@ -132,10 +136,12 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	opts := core.DefaultOptions()
 	opts.Timeout = cfg.OptTimeout
 	opts.MaxIterations = b.MaxIterations
+	opts.FreshEncode = cfg.FreshEncode
 	t0 := time.Now()
 	res, err := core.Compile(b.Spec, profile, opts)
 	out := TargetResult{OptSeconds: time.Since(t0).Seconds()}
-	rec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "opt", Seconds: out.OptSeconds}
+	rec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "opt",
+		FreshEncode: cfg.FreshEncode, Seconds: out.OptSeconds}
 	if err != nil {
 		out.Err = err.Error()
 		rec.Error = out.Err
@@ -159,10 +165,12 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 		naive := core.NaiveOptions()
 		naive.Timeout = cfg.OrigTimeout
 		naive.MaxIterations = b.MaxIterations
+		naive.FreshEncode = cfg.FreshEncode
 		t1 := time.Now()
 		nres, nerr := core.Compile(b.Spec, profile, naive)
 		out.OrigSeconds = time.Since(t1).Seconds()
-		nrec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "orig", Seconds: out.OrigSeconds}
+		nrec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "orig",
+			FreshEncode: cfg.FreshEncode, Seconds: out.OrigSeconds}
 		if nerr != nil {
 			nrec.Error = nerr.Error()
 		} else {

@@ -64,8 +64,12 @@ type Stats = core.Stats
 // instance a compilation ran, including racing attempts that lost.
 type SolverStats = core.SolverStats
 
-// IterationStats is one CEGIS iteration of the winning budget runner.
+// IterationStats is one CEGIS iteration of the winning budget rung.
 type IterationStats = core.IterationStats
+
+// QueryDump is one captured SAT query (DIMACS CNF plus metadata),
+// delivered to Options.QuerySink when DIMACS capture is enabled.
+type QueryDump = core.QueryDump
 
 // LintStats summarizes a compilation's SpecLint pre-pass: diagnostic
 // tallies and the pre/post-prune specification size.
