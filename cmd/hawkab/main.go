@@ -1,16 +1,25 @@
 // Command hawkab compares two hawkbench -stats runs of the same benchmark
-// slice: one with incremental solving sessions (the default) and one with
-// -fresh-encode. It is the CI gate for the incremental architecture:
+// slice. Its default mode is the CI gate for the incremental architecture
+// — one file with incremental solving sessions (the default) and one with
+// -fresh-encode:
 //
 //	hawkbench -table 3 -filter Parse -stats incr.json
 //	hawkbench -table 3 -filter Parse -stats fresh.json -fresh-encode
 //	hawkab incr.json fresh.json
 //
-// hawkab exits nonzero when the incremental mode changed any compilation
+// With -same-mode it is a before/after harness instead: both files come
+// from the same encode mode (typically two builds of the compiler), and
+// the comparison answers "did this change alter any outcome, and what did
+// it do to wall time and solver effort":
+//
+//	hawkab -same-mode before.json after.json
+//
+// hawkab exits nonzero when the two runs disagree on any compilation
 // outcome — a different OK/failure verdict or a different entry or stage
-// count on any benchmark — or when it slowed the slice's total wall time
-// beyond the tolerance. It always reports how many CNF clauses and
-// solver-construction work the sessions saved.
+// count on any benchmark — or when the first file's total wall time
+// exceeds the second's beyond the tolerance. The verdict table reports
+// the solver-effort movement (conflicts, propagations, learned clauses)
+// alongside the wall-time and CNF-clause comparisons.
 package main
 
 import (
@@ -24,92 +33,126 @@ import (
 
 func main() {
 	var (
-		maxSlow = flag.Float64("max-slowdown", 1.25, "fail when incremental total seconds exceed fresh total times this factor")
-		slack   = flag.Float64("slack", 2.0, "absolute seconds of slowdown always tolerated (absorbs timer noise on fast slices)")
-		minCut  = flag.Float64("min-clause-reduction", 0, "fail when incremental mode saves fewer than this percentage of CNF clauses (0 disables the gate)")
+		maxSlow  = flag.Float64("max-slowdown", 1.25, "fail when the first file's total seconds exceed the second's times this factor")
+		slack    = flag.Float64("slack", 2.0, "absolute seconds of slowdown always tolerated (absorbs timer noise on fast slices)")
+		minCut   = flag.Float64("min-clause-reduction", 0, "fail when the first run saves fewer than this percentage of CNF clauses (0 disables the gate)")
+		sameMode = flag.Bool("same-mode", false, "compare two runs of the same encode mode (before/after a compiler change) instead of incremental vs fresh-encode")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: hawkab [flags] incremental.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: hawkab [flags] incremental.json fresh.json\n       hawkab -same-mode [flags] before.json after.json")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	incr, err := load(flag.Arg(0))
+	aRuns, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	fresh, err := load(flag.Arg(1))
+	bRuns, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
-	for _, r := range incr {
-		if r.FreshEncode {
-			fatalf("hawkab: %s: first file contains fresh-encode runs; argument order is incremental.json fresh.json", flag.Arg(0))
+	aLabel, bLabel := "incremental", "fresh-encode"
+	if *sameMode {
+		aLabel, bLabel = "before", "after"
+		for _, r := range bRuns {
+			if r.FreshEncode != aRuns[0].FreshEncode {
+				fatalf("hawkab: -same-mode: the two files mix encode modes; rerun both with the same -fresh-encode setting")
+			}
 		}
-	}
-	for _, r := range fresh {
-		if !r.FreshEncode {
-			fatalf("hawkab: %s: second file contains incremental runs; argument order is incremental.json fresh.json", flag.Arg(1))
+	} else {
+		for _, r := range aRuns {
+			if r.FreshEncode {
+				fatalf("hawkab: %s: first file contains fresh-encode runs; argument order is incremental.json fresh.json", flag.Arg(0))
+			}
+		}
+		for _, r := range bRuns {
+			if !r.FreshEncode {
+				fatalf("hawkab: %s: second file contains incremental runs; argument order is incremental.json fresh.json", flag.Arg(1))
+			}
 		}
 	}
 
-	im, fm := index(incr), index(fresh)
+	am, bm := index(aRuns), index(bRuns)
 	var keys []string
-	for k := range im {
+	for k := range am {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	if len(im) != len(fm) {
-		fatalf("hawkab: run sets differ: %d incremental vs %d fresh-encode records", len(im), len(fm))
+	if len(am) != len(bm) {
+		fatalf("hawkab: run sets differ: %d %s vs %d %s records", len(am), aLabel, len(bm), bLabel)
 	}
 
 	bad := 0
-	var incrSec, freshSec float64
-	var incrClauses, freshClauses, retained, consHits int64
+	var aTot, bTot totals
 	for _, k := range keys {
-		a, b := im[k], fm[k]
+		a, b := am[k], bm[k]
 		if b == nil {
-			fmt.Fprintf(os.Stderr, "hawkab: %s: present only in the incremental run\n", k)
+			fmt.Fprintf(os.Stderr, "hawkab: %s: present only in the %s run\n", k, aLabel)
 			bad++
 			continue
 		}
 		if a.OK != b.OK {
-			fmt.Fprintf(os.Stderr, "hawkab: %s: verdict changed: incremental ok=%v, fresh ok=%v (%s / %s)\n",
-				k, a.OK, b.OK, a.Error, b.Error)
+			fmt.Fprintf(os.Stderr, "hawkab: %s: verdict changed: %s ok=%v, %s ok=%v (%s / %s)\n",
+				k, aLabel, a.OK, bLabel, b.OK, a.Error, b.Error)
 			bad++
 		} else if a.OK && (a.Entries != b.Entries || a.Stages != b.Stages) {
-			fmt.Fprintf(os.Stderr, "hawkab: %s: result changed: incremental %d entries/%d stages, fresh %d entries/%d stages\n",
-				k, a.Entries, a.Stages, b.Entries, b.Stages)
+			fmt.Fprintf(os.Stderr, "hawkab: %s: result changed: %s %d entries/%d stages, %s %d entries/%d stages\n",
+				k, aLabel, a.Entries, a.Stages, bLabel, b.Entries, b.Stages)
 			bad++
 		}
-		incrSec += a.Seconds
-		freshSec += b.Seconds
-		incrClauses += a.Stats.Solver.Clauses
-		freshClauses += b.Stats.Solver.Clauses
-		retained += a.Stats.Solver.RetainedClauses
-		consHits += a.Stats.Solver.ConsHits
+		aTot.add(a)
+		bTot.add(b)
 	}
 
+	// The verdict table: outcome identity plus the wall-time, CNF-size,
+	// and solver-effort movement between the two runs.
 	fmt.Printf("runs compared:     %d\n", len(keys))
-	fmt.Printf("total wall time:   incremental %.2fs, fresh-encode %.2fs (%.2fx)\n",
-		incrSec, freshSec, ratio(incrSec, freshSec))
-	fmt.Printf("CNF clauses:       incremental %d, fresh-encode %d (%.1f%% fewer)\n",
-		incrClauses, freshClauses, pctLess(incrClauses, freshClauses))
-	fmt.Printf("learned retained:  %d clauses carried across solves\n", retained)
-	fmt.Printf("cons-cache hits:   %d gates deduplicated\n", consHits)
+	fmt.Printf("%-18s %14s %14s %8s\n", "metric", aLabel, bLabel, "ratio")
+	row := func(name string, a, b int64) {
+		fmt.Printf("%-18s %14d %14d %7.2fx\n", name, a, b, ratio(float64(a), float64(b)))
+	}
+	fmt.Printf("%-18s %14.2f %14.2f %7.2fx\n", "wall time (s)", aTot.seconds, bTot.seconds, ratio(aTot.seconds, bTot.seconds))
+	row("conflicts", aTot.conflicts, bTot.conflicts)
+	row("propagations", aTot.propagations, bTot.propagations)
+	row("learned clauses", aTot.learned, bTot.learned)
+	row("CNF clauses", aTot.clauses, bTot.clauses)
+	fmt.Printf("learned retained:  %d clauses carried across solves (%s run)\n", aTot.retained, aLabel)
+	fmt.Printf("cons-cache hits:   %d gates deduplicated (%s run)\n", aTot.consHits, aLabel)
 
 	if bad > 0 {
-		fatalf("hawkab: FAIL: %d run(s) changed outcome under incremental solving", bad)
+		fatalf("hawkab: FAIL: %d run(s) changed outcome between %s and %s", bad, aLabel, bLabel)
 	}
-	if incrSec > freshSec**maxSlow+*slack {
-		fatalf("hawkab: FAIL: incremental mode is %.2fx slower than fresh-encode (limit %.2fx + %.1fs slack)",
-			ratio(incrSec, freshSec), *maxSlow, *slack)
+	if aTot.seconds > bTot.seconds**maxSlow+*slack {
+		fatalf("hawkab: FAIL: %s run is %.2fx slower than %s (limit %.2fx + %.1fs slack)",
+			aLabel, ratio(aTot.seconds, bTot.seconds), bLabel, *maxSlow, *slack)
 	}
-	if cut := pctLess(incrClauses, freshClauses); *minCut > 0 && cut < *minCut {
-		fatalf("hawkab: FAIL: incremental mode saved only %.1f%% of CNF clauses (gate: %.1f%%)", cut, *minCut)
+	if cut := pctLess(aTot.clauses, bTot.clauses); *minCut > 0 && cut < *minCut {
+		fatalf("hawkab: FAIL: %s run saved only %.1f%% of CNF clauses (gate: %.1f%%)", aLabel, cut, *minCut)
 	}
 	fmt.Println("hawkab: OK: identical outcomes, within the time budget")
+}
+
+// totals accumulates one run set's wall time and solver effort.
+type totals struct {
+	seconds      float64
+	conflicts    int64
+	propagations int64
+	learned      int64
+	clauses      int64
+	retained     int64
+	consHits     int64
+}
+
+func (t *totals) add(r *tables.RunStats) {
+	t.seconds += r.Seconds
+	t.conflicts += r.Stats.Solver.Conflicts
+	t.propagations += r.Stats.Solver.Propagations
+	t.learned += r.Stats.Solver.LearnedClauses
+	t.clauses += r.Stats.Solver.Clauses
+	t.retained += r.Stats.Solver.RetainedClauses
+	t.consHits += r.Stats.Solver.ConsHits
 }
 
 func load(path string) ([]tables.RunStats, error) {

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"parserhawk"
@@ -39,8 +41,38 @@ func main() {
 		origTimeout = flag.Duration("orig-timeout", 10*time.Second, "per-compilation budget for the naive mode")
 		statsOut    = flag.String("stats", "", "write per-run solver statistics as JSON to this file (\"-\" for stdout)")
 		fresh       = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
+		workers     = flag.Int("workers", 0, "Table 3 benchmarks compiled concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := tables.Config{
 		OptTimeout:  *optTimeout,
@@ -48,6 +80,7 @@ func main() {
 		RunOrig:     *runOrig,
 		Filter:      *filter,
 		FreshEncode: *fresh,
+		Workers:     *workers,
 	}
 	var runs []tables.RunStats
 	if *statsOut != "" {

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -31,27 +33,56 @@ import (
 
 func main() {
 	var (
-		target    = flag.String("target", "tofino", "target device: tofino, ipu, or custom")
-		key       = flag.Int("key", 8, "custom target: transition-key width limit (bits)")
-		lookahead = flag.Int("lookahead", 16, "custom target: lookahead window (bits)")
-		extract   = flag.Int("extract", 64, "custom target: per-entry extraction limit (bits)")
-		timeout   = flag.Duration("timeout", 5*time.Minute, "compilation time budget")
-		naive     = flag.Bool("naive", false, "disable all synthesis optimizations (the paper's Orig mode)")
-		maxIter   = flag.Int("unroll", 0, "loop unroll depth for pipelined targets (0 = default)")
-		verify    = flag.Bool("verify", true, "run the spec-vs-implementation equivalence check")
-		quiet     = flag.Bool("q", false, "print only the TCAM program")
-		emitJSON  = flag.Bool("json", false, "emit the compiled program as deployment JSON")
-		stats     = flag.Bool("stats", false, "emit solver-level synthesis statistics as JSON")
-		emitP4    = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
-		lintOnly  = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
-		dimacsDir = flag.String("dimacs", "", "directory to write the compile's hardest SAT query as DIMACS CNF")
-		fresh     = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
+		target     = flag.String("target", "tofino", "target device: tofino, ipu, or custom")
+		key        = flag.Int("key", 8, "custom target: transition-key width limit (bits)")
+		lookahead  = flag.Int("lookahead", 16, "custom target: lookahead window (bits)")
+		extract    = flag.Int("extract", 64, "custom target: per-entry extraction limit (bits)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "compilation time budget")
+		naive      = flag.Bool("naive", false, "disable all synthesis optimizations (the paper's Orig mode)")
+		maxIter    = flag.Int("unroll", 0, "loop unroll depth for pipelined targets (0 = default)")
+		verify     = flag.Bool("verify", true, "run the spec-vs-implementation equivalence check")
+		quiet      = flag.Bool("q", false, "print only the TCAM program")
+		emitJSON   = flag.Bool("json", false, "emit the compiled program as deployment JSON")
+		stats      = flag.Bool("stats", false, "emit solver-level synthesis statistics as JSON")
+		emitP4     = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
+		lintOnly   = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
+		dimacsDir  = flag.String("dimacs", "", "directory to write the compile's hardest SAT query as DIMACS CNF")
+		fresh      = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: parserhawk [flags] parser.p4")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	var profile parserhawk.Profile

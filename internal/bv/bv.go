@@ -170,8 +170,8 @@ func (s *Solver) And(a, b Lit) Lit {
 	}
 	g := s.NewLit()
 	s.gates++
-	s.SAT.AddClause(g.Not(), a)
-	s.SAT.AddClause(g.Not(), b)
+	s.SAT.AddBinary(g.Not(), a)
+	s.SAT.AddBinary(g.Not(), b)
 	s.SAT.AddClause(g, a.Not(), b.Not())
 	if !s.nocons {
 		s.andCache[[2]Lit{a, b}] = g
@@ -397,7 +397,7 @@ func (s *Solver) SelectLit(sel []Lit, opts []Lit) Lit {
 func (s *Solver) AtMostOne(ls []Lit) {
 	for i := 0; i < len(ls); i++ {
 		for j := i + 1; j < len(ls); j++ {
-			s.SAT.AddClause(ls[i].Not(), ls[j].Not())
+			s.SAT.AddBinary(ls[i].Not(), ls[j].Not())
 		}
 	}
 }
@@ -432,21 +432,21 @@ func (s *Solver) AtMostK(ls []Lit, k int) {
 			reg[i][j] = s.NewLit()
 		}
 	}
-	s.SAT.AddClause(ls[0].Not(), reg[0][0])
+	s.SAT.AddBinary(ls[0].Not(), reg[0][0])
 	for j := 1; j < k; j++ {
 		s.SAT.AddClause(reg[0][j].Not())
 	}
 	for i := 1; i < n-1; i++ {
-		s.SAT.AddClause(ls[i].Not(), reg[i][0])
-		s.SAT.AddClause(reg[i-1][0].Not(), reg[i][0])
+		s.SAT.AddBinary(ls[i].Not(), reg[i][0])
+		s.SAT.AddBinary(reg[i-1][0].Not(), reg[i][0])
 		for j := 1; j < k; j++ {
 			s.SAT.AddClause(ls[i].Not(), reg[i-1][j-1].Not(), reg[i][j])
-			s.SAT.AddClause(reg[i-1][j].Not(), reg[i][j])
+			s.SAT.AddBinary(reg[i-1][j].Not(), reg[i][j])
 		}
-		s.SAT.AddClause(ls[i].Not(), reg[i-1][k-1].Not())
+		s.SAT.AddBinary(ls[i].Not(), reg[i-1][k-1].Not())
 	}
 	if n >= 2 {
-		s.SAT.AddClause(ls[n-1].Not(), reg[n-2][k-1].Not())
+		s.SAT.AddBinary(ls[n-1].Not(), reg[n-2][k-1].Not())
 	}
 }
 
@@ -469,9 +469,9 @@ func (s *Solver) CountLadder(ls []Lit) []Lit {
 		for j := range row {
 			row[j] = s.NewLit()
 		}
-		s.SAT.AddClause(ls[i].Not(), row[0])
+		s.SAT.AddBinary(ls[i].Not(), row[0])
 		for j := range prev {
-			s.SAT.AddClause(prev[j].Not(), row[j])
+			s.SAT.AddBinary(prev[j].Not(), row[j])
 			s.SAT.AddClause(ls[i].Not(), prev[j].Not(), row[j+1])
 		}
 		prev = row

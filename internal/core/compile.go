@@ -635,6 +635,8 @@ func solverSnapshot(s *bv.Solver) SolverStats {
 		Vars:            m.Vars,
 		RetainedClauses: m.RetainedLearnts,
 		ConsHits:        m.ConsHits,
+		BinPropagations: m.BinPropagations,
+		GlueLearnts:     m.GlueLearnts,
 	}
 }
 

@@ -206,6 +206,14 @@ type SolverStats struct {
 	// caches answered without emitting CNF — duplicate subcircuits (mostly
 	// repeated counterexample circuitry) that were deduplicated.
 	ConsHits int64 `json:"cons_hits"`
+	// BinPropagations counts implications served by the solver's binary
+	// implication lists — propagations that never touched the clause arena.
+	// The ratio to Propagations measures how binary-heavy the Tseitin
+	// encodings are in practice.
+	BinPropagations int64 `json:"bin_propagations"`
+	// GlueLearnts counts learnt clauses with literal block distance ≤ 2 at
+	// learning time; the solver's reduceDB never deletes them.
+	GlueLearnts int64 `json:"glue_learnts"`
 }
 
 // Add accumulates another snapshot into s.
@@ -222,6 +230,8 @@ func (s *SolverStats) Add(o SolverStats) {
 	s.Vars += o.Vars
 	s.RetainedClauses += o.RetainedClauses
 	s.ConsHits += o.ConsHits
+	s.BinPropagations += o.BinPropagations
+	s.GlueLearnts += o.GlueLearnts
 }
 
 // Sub returns the counter movement from an earlier snapshot o to s. Every
@@ -242,6 +252,8 @@ func (s SolverStats) Sub(o SolverStats) SolverStats {
 		Vars:            s.Vars - o.Vars,
 		RetainedClauses: s.RetainedClauses - o.RetainedClauses,
 		ConsHits:        s.ConsHits - o.ConsHits,
+		BinPropagations: s.BinPropagations - o.BinPropagations,
+		GlueLearnts:     s.GlueLearnts - o.GlueLearnts,
 	}
 }
 

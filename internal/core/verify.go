@@ -213,10 +213,21 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 		// One input per rule of s, plus one for the default.
 		for target := -1; target < len(v.spec.States[s].Rules); target++ {
 			in := make(bitstream.Bits, v.maxLen)
-			var window []int // absolute positions of s's key window
+			var window []int     // absolute positions of s's key window
+			var pathWindow []int // key windows of the interior hops
 			for pass := 0; pass < 3; pass++ {
 				pos := 0
 				dict := bitstream.Dict{}
+				collect := func(si int, dst []int) []int {
+					for _, p := range v.keys[si] {
+						for j := 0; j < p.BitWidth(); j++ {
+							if ip := pos + p.RelOff + j; ip >= 0 && ip < len(in) {
+								dst = append(dst, ip)
+							}
+						}
+					}
+					return dst
+				}
 				step := func(si, rule int) {
 					if rule >= 0 && rule < len(v.spec.States[si].Rules) {
 						v.writePatternAll(in, pos, si, v.spec.States[si].Rules[rule])
@@ -227,17 +238,12 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 						pos += w
 					}
 				}
+				pathWindow = pathWindow[:0]
 				for i, si := range states {
+					pathWindow = collect(si, pathWindow)
 					step(si, rules[i])
 				}
-				window = window[:0]
-				for _, p := range v.keys[s] {
-					for j := 0; j < p.BitWidth(); j++ {
-						if ip := pos + p.RelOff + j; ip >= 0 && ip < len(in) {
-							window = append(window, ip)
-						}
-					}
-				}
+				window = collect(s, window[:0])
 				step(s, target)
 			}
 			suite = append(suite, in)
@@ -246,6 +252,18 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 			// one on exact rule patterns; it always differs on a one-bit
 			// neighbour.
 			for _, ip := range window {
+				flipped := in.Clone()
+				flipped[ip] ^= 1
+				suite = append(suite, flipped)
+			}
+			// One-deviation path coverage: also flip each bit of every
+			// interior hop's key window while the rest of the path stays on
+			// its rule patterns. A wrong mask bit on an interior hop is
+			// silent when the wrongly entered state falls through to the
+			// same outcome — it only shows when a later state's key happens
+			// to match, and that is exactly the combination these inputs
+			// provide (deviating hop, exact downstream patterns).
+			for _, ip := range pathWindow {
 				flipped := in.Clone()
 				flipped[ip] ^= 1
 				suite = append(suite, flipped)

@@ -2,6 +2,7 @@ package sat
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -44,6 +45,58 @@ func TestDIMACSRoundTrip(t *testing.T) {
 		if got != want {
 			t.Fatalf("trial %d: reread instance %v, original %v\ncnf=%v\n%s",
 				trial, got, want, cnf, buf.String())
+		}
+	}
+}
+
+// TestDIMACSParseDumpParseFixedPoint is the canonicalization property:
+// parsing a randomized DIMACS instance and dumping it reaches a fixed
+// point in one step — parse(dump(parse(x))) produces byte-identical text
+// to dump(parse(x)) — and every round preserves the solver's verdict.
+// This pins the invariant that the dump reflects the recorded original
+// clauses, not the solver's internal (arena/implication-list) storage,
+// which rewrites binaries into watch lists and simplifies at add time.
+func TestDIMACSParseDumpParseFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 2 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(14)
+		var src strings.Builder
+		fmt.Fprintf(&src, "c trial %d\np cnf %d %d\n", trial, nVars, nClauses)
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(4) // length 1 and 2 exercise the unit and implication-list paths
+			for i := 0; i < k; i++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				fmt.Fprintf(&src, "%d ", v)
+			}
+			src.WriteString("0\n")
+		}
+		first, err := ReadDIMACS(strings.NewReader(src.String()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src.String())
+		}
+		var dump1 bytes.Buffer
+		if err := first.WriteDIMACS(&dump1); err != nil {
+			t.Fatalf("trial %d: dump: %v", trial, err)
+		}
+		second, err := ReadDIMACS(bytes.NewReader(dump1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, dump1.String())
+		}
+		var dump2 bytes.Buffer
+		if err := second.WriteDIMACS(&dump2); err != nil {
+			t.Fatalf("trial %d: redump: %v", trial, err)
+		}
+		if !bytes.Equal(dump1.Bytes(), dump2.Bytes()) {
+			t.Fatalf("trial %d: dump is not a fixed point\nfirst:\n%s\nsecond:\n%s",
+				trial, dump1.String(), dump2.String())
+		}
+		if got, want := second.Solve(), first.Solve(); got != want {
+			t.Fatalf("trial %d: verdict drifted across round-trip: %v vs %v\n%s",
+				trial, got, want, src.String())
 		}
 	}
 }

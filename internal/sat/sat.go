@@ -3,13 +3,21 @@
 // synthesis queries, standing in for Z3's finite-domain core (the paper
 // uses Z3 purely as a bitvector/boolean constraint solver; see DESIGN.md).
 //
-// Features: two-watched-literal propagation, VSIDS branching with phase
-// saving, first-UIP conflict analysis with clause minimization, Luby
-// restarts, and incremental solving under assumptions.
+// The engine is Glucose-class: clause literals live in one flat arena
+// addressed by clause references (no per-clause heap objects, so
+// propagation walks contiguous memory and the reducer compacts by arena
+// GC), watchers carry a cached blocking literal that skips the arena
+// dereference when the clause is already satisfied, binary clauses are
+// propagated from per-literal implication lists ahead of long clauses,
+// and learnt clauses are tracked by literal block distance (LBD) with a
+// glue-tiered retention policy. Search is CDCL with VSIDS branching,
+// phase saving, first-UIP conflict analysis with clause minimization,
+// Luby restarts, and incremental solving under assumptions.
 package sat
 
 import (
 	"errors"
+	"math"
 	"sort"
 )
 
@@ -35,26 +43,63 @@ func (l Lit) Neg() bool { return l&1 == 1 }
 // Not returns the complementary literal.
 func (l Lit) Not() Lit { return l ^ 1 }
 
-type lbool int8
+// lbool is a MiniSat-style ternary: XORing with a literal's sign bit
+// flips true/false and keeps undef in the ≥2 range, so value() is a load
+// and an XOR with no branches.
+type lbool uint8
 
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
 
-func boolToLbool(b bool) lbool {
-	if b {
-		return lTrue
-	}
-	return lFalse
-}
+// isUndef reports an unassigned value. After the sign XOR an undef cell
+// reads as 2 or 3, so equality against lUndef is NOT the right test.
+func (b lbool) isUndef() bool { return b >= 2 }
 
-type clause struct {
-	lits    []Lit
-	learnt  bool
-	act     float64
-	deleted bool
+// cref addresses a clause in the arena: the index of its header word.
+type cref = uint32
+
+const (
+	// crefUndef is "no clause" (propagation found no conflict).
+	crefUndef cref = 0xFFFFFFFF
+	// crefBin marks a conflict in a binary clause, whose two literals are
+	// in Solver.binConfl — binary clauses have no arena representation.
+	crefBin cref = 0xFFFFFFFE
+)
+
+// Arena clause layout, in Lit-sized words starting at the cref:
+//
+//	problem clause: [header, lit0, lit1, ...]
+//	learnt clause:  [header, lbd, act(float32 bits), lit0, lit1, ...]
+//
+// The header packs the literal count and flag bits. Binary clauses never
+// enter the arena: they live in the per-literal implication lists.
+const (
+	hdrLearnt    = 1 << 0
+	hdrDeleted   = 1 << 1
+	hdrProtected = 1 << 2 // survives one reduceDB round (recently useful)
+	hdrReloc     = 1 << 3 // moved by arena GC; next word is the new cref
+	hdrSizeShift = 4
+)
+
+// reason encoding: a cref, or a binary implication (the implying clause's
+// other literal, tagged), or nothing. Binary reasons never materialize a
+// clause — conflict analysis reads the literal straight from the tag.
+const (
+	reasonNone    uint32 = 0xFFFFFFFF
+	reasonBinFlag uint32 = 1 << 31
+)
+
+func binReason(other Lit) uint32 { return reasonBinFlag | uint32(other) }
+
+// watcher is one entry of a literal's long-clause watch list. blocker is
+// any other literal of the clause: if it is already true the clause is
+// satisfied and the arena is never touched — the common case.
+type watcher struct {
+	c       cref
+	blocker Lit
 }
 
 // Status is the outcome of a Solve call.
@@ -84,8 +129,10 @@ var ErrCanceled = errors.New("sat: solve canceled")
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learned clauses
+	arena   []Lit  // flat clause storage; crefs index into it
+	clauses []cref // long problem clauses
+	learnts []cref // long learnt clauses
+
 	// RecordOriginal, when set before clauses are added, logs every clause
 	// AddClause receives (pre-simplification) so WriteDIMACS can export the
 	// exact instance. Off by default: synthesis runs add millions of
@@ -93,11 +140,12 @@ type Solver struct {
 	RecordOriginal bool
 	original       [][]Lit
 
-	watches [][]*clause // literal -> clauses watching it
+	watches    [][]watcher // literal -> long clauses watching it
+	binWatches [][]Lit     // literal p -> literals implied when p is true
 
 	assign   []lbool // variable assignment
 	level    []int32 // decision level per variable
-	reason   []*clause
+	reason   []uint32
 	phase    []bool // saved phase per variable
 	activity []float64
 	varInc   float64
@@ -109,18 +157,27 @@ type Solver struct {
 	trailLim []int32
 	qhead    int
 
-	seen      []bool
-	conflicts int64
-	decisions int64
-	propsN    int64
-	restartsN int64
-	learnedN  int64
-	learnedLN int64
-	clausesN  int64
-	ticks     int64
-	solvesN   int64
-	retainedN int64   // Σ over Solve calls of learned clauses alive at entry
-	lastDelta Metrics // counter movement of the most recent Solve call
+	seen     []bool
+	lbdStamp []int64 // per-decision-level stamp for LBD counting
+	lbdTick  int64
+	binConfl [2]Lit // literals of a conflicting binary clause
+	addBuf   []Lit  // AddClause scratch
+
+	conflicts  int64
+	decisions  int64
+	propsN     int64
+	binPropsN  int64
+	restartsN  int64
+	learnedN   int64
+	learnedLN  int64
+	clausesN   int64
+	ticks      int64
+	solvesN    int64
+	retainedN  int64 // Σ over Solve calls of learned clauses alive at entry
+	glueN      int64 // learnt clauses with LBD ≤ 2 at learning time
+	binLearntN int64 // learnt binary clauses (kept forever, off-arena)
+	lbdHist    [8]int64
+	lastDelta  Metrics // counter movement of the most recent Solve call
 
 	// Cancel, when non-nil, is polled periodically; returning true aborts
 	// the solve with Unknown and Err() == ErrCanceled.
@@ -142,11 +199,13 @@ func (s *Solver) NewVar() int {
 	v := len(s.assign)
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, reasonNone)
 	s.phase = append(s.phase, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
+	s.lbdStamp = append(s.lbdStamp, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
 	s.order.push(v, &s.activity)
 	return v
 }
@@ -179,6 +238,15 @@ type Metrics struct {
 	// for every query always reports zero; an incremental session reports how
 	// much the persistent clause database was worth.
 	RetainedLearnts int64 `json:"retained_learnts"`
+	// BinPropagations counts implications served by the binary implication
+	// lists — propagations that never touched the clause arena.
+	BinPropagations int64 `json:"bin_propagations"`
+	// GlueLearnts counts learnt clauses whose LBD at learning time was ≤ 2
+	// ("glue" clauses, exempt from deletion forever).
+	GlueLearnts int64 `json:"glue_learnts"`
+	// LBDHist buckets learnt clauses by LBD at learning time: index i holds
+	// LBD i+1 for i < 7, and the last bucket holds LBD ≥ 8.
+	LBDHist [8]int64 `json:"lbd_hist"`
 }
 
 // Add accumulates another snapshot into m (for aggregating across the
@@ -194,13 +262,18 @@ func (m *Metrics) Add(o Metrics) {
 	m.Vars += o.Vars
 	m.Solves += o.Solves
 	m.RetainedLearnts += o.RetainedLearnts
+	m.BinPropagations += o.BinPropagations
+	m.GlueLearnts += o.GlueLearnts
+	for i := range m.LBDHist {
+		m.LBDHist[i] += o.LBDHist[i]
+	}
 }
 
 // Sub returns the counter movement from an earlier snapshot o to m. All
 // fields are monotone over a solver's lifetime, so the result is the exact
 // effort spent between the two snapshots.
 func (m Metrics) Sub(o Metrics) Metrics {
-	return Metrics{
+	out := Metrics{
 		Decisions:       m.Decisions - o.Decisions,
 		Propagations:    m.Propagations - o.Propagations,
 		Conflicts:       m.Conflicts - o.Conflicts,
@@ -211,7 +284,13 @@ func (m Metrics) Sub(o Metrics) Metrics {
 		Vars:            m.Vars - o.Vars,
 		Solves:          m.Solves - o.Solves,
 		RetainedLearnts: m.RetainedLearnts - o.RetainedLearnts,
+		BinPropagations: m.BinPropagations - o.BinPropagations,
+		GlueLearnts:     m.GlueLearnts - o.GlueLearnts,
 	}
+	for i := range out.LBDHist {
+		out.LBDHist[i] = m.LBDHist[i] - o.LBDHist[i]
+	}
+	return out
 }
 
 // Metrics returns the solver's cumulative counters.
@@ -227,6 +306,9 @@ func (s *Solver) Metrics() Metrics {
 		Vars:            int64(len(s.assign)),
 		Solves:          s.solvesN,
 		RetainedLearnts: s.retainedN,
+		BinPropagations: s.binPropsN,
+		GlueLearnts:     s.glueN,
+		LBDHist:         s.lbdHist,
 	}
 }
 
@@ -236,12 +318,67 @@ func (s *Solver) Metrics() Metrics {
 func (s *Solver) LastSolveDelta() Metrics { return s.lastDelta }
 
 // LearntsLive returns the number of learned clauses currently alive in
-// the database (reduceDB shrinks this; the cumulative LearnedClauses
-// metric does not).
-func (s *Solver) LearntsLive() int { return len(s.learnts) }
+// the database — long learnts plus binary learnts, which live in the
+// implication lists and are never deleted. (reduceDB shrinks the long
+// part; the cumulative LearnedClauses metric never shrinks.)
+func (s *Solver) LearntsLive() int { return len(s.learnts) + int(s.binLearntN) }
 
 // Err returns the reason a solve ended Unknown, if any.
 func (s *Solver) Err() error { return s.err }
+
+// ---- arena accessors ----
+
+func (s *Solver) claSize(c cref) int { return int(uint32(s.arena[c]) >> hdrSizeShift) }
+
+func (s *Solver) claBase(c cref) cref {
+	if s.arena[c]&hdrLearnt != 0 {
+		return c + 3
+	}
+	return c + 1
+}
+
+func (s *Solver) claLits(c cref) []Lit {
+	b := s.claBase(c)
+	return s.arena[b : b+cref(s.claSize(c))]
+}
+
+func (s *Solver) claLBD(c cref) int      { return int(s.arena[c+1]) }
+func (s *Solver) setLBD(c cref, lbd int) { s.arena[c+1] = Lit(lbd) }
+
+func (s *Solver) claAct(c cref) float32 {
+	return math.Float32frombits(uint32(s.arena[c+2]))
+}
+
+func (s *Solver) setAct(c cref, a float32) {
+	s.arena[c+2] = Lit(int32(math.Float32bits(a)))
+}
+
+// allocClause appends a clause to the arena and returns its reference.
+func (s *Solver) allocClause(lits []Lit, learnt bool, lbd int) cref {
+	c := cref(len(s.arena))
+	hdr := Lit(len(lits) << hdrSizeShift)
+	if learnt {
+		hdr |= hdrLearnt
+	}
+	s.arena = append(s.arena, hdr)
+	if learnt {
+		s.arena = append(s.arena, Lit(lbd), 0) // lbd word, activity word
+	}
+	s.arena = append(s.arena, lits...)
+	return c
+}
+
+func (s *Solver) watchClause(c cref) {
+	b := s.claBase(c)
+	l0, l1 := s.arena[b], s.arena[b+1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) addBinWatch(a, b Lit) {
+	s.binWatches[a.Not()] = append(s.binWatches[a.Not()], b)
+	s.binWatches[b.Not()] = append(s.binWatches[b.Not()], a)
+}
 
 // AddClause adds a problem clause. It returns false when the clause makes
 // the instance trivially unsatisfiable at the top level. Literals over
@@ -258,8 +395,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	// Must be at decision level 0 for top-level simplification.
 	s.backtrackTo(0)
 	// Sort, dedupe, drop false literals, detect tautology.
-	ls := append([]Lit(nil), lits...)
-	sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls[:0]
+	insertionSortLits(ls)
 	out := ls[:0]
 	var prev Lit = -1
 	for _, l := range ls {
@@ -286,52 +424,100 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.unsatForce = true
 		return false
 	case 1:
-		if !s.enqueue(out[0], nil) {
-			s.unsatForce = true
-			return false
-		}
-		if s.propagate() != nil {
-			s.unsatForce = true
-			return false
-		}
+		return s.addUnit(out[0])
+	case 2:
+		s.addBinWatch(out[0], out[1])
 		return true
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.allocClause(out, false, 0)
 	s.clauses = append(s.clauses, c)
-	s.watch(c)
+	s.watchClause(c)
 	return true
 }
 
-func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+// AddBinary adds the two-literal clause (a ∨ b): the same semantics as
+// AddClause(a, b), but skipping the simplification scratch work, so
+// binary-heavy encoders (Tseitin gates are mostly binary clauses) emit
+// straight into the implication lists.
+func (s *Solver) AddBinary(a, b Lit) bool {
+	s.clausesN++
+	if s.RecordOriginal {
+		s.original = append(s.original, []Lit{a, b})
+	}
+	if s.unsatForce {
+		return false
+	}
+	if a.Var() >= len(s.assign) || b.Var() >= len(s.assign) {
+		panic("sat: literal over unallocated variable")
+	}
+	s.backtrackTo(0)
+	if a == b.Not() {
+		return true // tautology
+	}
+	va, vb := s.value(a), s.value(b)
+	switch {
+	case va == lTrue || vb == lTrue:
+		return true
+	case a == b:
+		return s.addUnit(a)
+	case va == lFalse && vb == lFalse:
+		s.unsatForce = true
+		return false
+	case va == lFalse:
+		return s.addUnit(b)
+	case vb == lFalse:
+		return s.addUnit(a)
+	}
+	s.addBinWatch(a, b)
+	return true
+}
+
+// addUnit asserts a top-level fact and propagates it.
+func (s *Solver) addUnit(l Lit) bool {
+	if !s.enqueue(l, reasonNone) {
+		s.unsatForce = true
+		return false
+	}
+	if s.propagate() != crefUndef {
+		s.unsatForce = true
+		return false
+	}
+	return true
+}
+
+// insertionSortLits sorts small literal slices without the sort.Slice
+// closure overhead; AddClause calls this once per clause.
+func insertionSortLits(ls []Lit) {
+	if len(ls) > 32 {
+		sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+		return
+	}
+	for i := 1; i < len(ls); i++ {
+		l := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j] > l {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = l
+	}
 }
 
 func (s *Solver) value(l Lit) lbool {
-	v := s.assign[l.Var()]
-	if v == lUndef {
-		return lUndef
-	}
-	if l.Neg() {
-		if v == lTrue {
-			return lFalse
-		}
-		return lTrue
-	}
-	return v
+	return s.assign[l.Var()] ^ lbool(l&1)
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) enqueue(l Lit, from *clause) bool {
-	switch s.value(l) {
-	case lTrue:
+func (s *Solver) enqueue(l Lit, from uint32) bool {
+	switch v := s.value(l); {
+	case v == lTrue:
 		return true
-	case lFalse:
+	case v == lFalse:
 		return false
 	}
 	v := l.Var()
-	s.assign[v] = boolToLbool(!l.Neg())
+	s.assign[v] = lbool(l & 1)
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.phase[v] = !l.Neg()
@@ -339,35 +525,63 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 	return true
 }
 
-// propagate runs unit propagation; it returns the conflicting clause or nil.
-func (s *Solver) propagate() *clause {
+// propagate runs unit propagation; it returns the conflicting clause
+// reference, crefBin for a binary conflict (literals in binConfl), or
+// crefUndef when a fixpoint is reached without conflict.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.propsN++
+
+		// Binary implications first: a tight loop over the implication
+		// list, no arena access, no watcher bookkeeping.
+		for _, q := range s.binWatches[p] {
+			switch s.value(q) {
+			case lTrue:
+			case lFalse:
+				s.binConfl[0] = q
+				s.binConfl[1] = p.Not()
+				return crefBin
+			default:
+				s.binPropsN++
+				s.enqueue(q, binReason(p.Not()))
+			}
+		}
+
 		ws := s.watches[p]
-		kept := ws[:0]
-		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
-			if c.deleted {
+		n := len(ws)
+		j := 0
+		for i := 0; i < n; i++ {
+			w := ws[i]
+			// Blocking literal: if any cached literal of the clause is
+			// already true, the clause is satisfied — skip the arena.
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
 				continue
 			}
-			// Normalize: watched literal being falsified is c.lits[1]'s
-			// negation partner; ensure lits[1] is the falsified one.
-			if c.lits[0].Not() == p {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := w.c
+			base := int(s.claBase(c))
+			// Normalize: make arena[base+1] the falsified watch.
+			if s.arena[base] == p.Not() {
+				s.arena[base], s.arena[base+1] = s.arena[base+1], s.arena[base]
 			}
-			// If first watch true, clause satisfied.
-			if s.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			first := s.arena[base]
+			nw := watcher{c, first}
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = nw
+				j++
 				continue
 			}
 			// Find a new literal to watch.
+			size := s.claSize(c)
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+			for k := 2; k < size; k++ {
+				if s.value(s.arena[base+k]) != lFalse {
+					s.arena[base+1], s.arena[base+k] = s.arena[base+k], s.arena[base+1]
+					nl := s.arena[base+1].Not()
+					s.watches[nl] = append(s.watches[nl], nw)
 					found = true
 					break
 				}
@@ -376,17 +590,21 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
-			if !s.enqueue(c.lits[0], c) {
+			ws[j] = nw
+			j++
+			if !s.enqueue(first, c) {
 				// Conflict: retain remaining watchers and report.
-				kept = append(kept, ws[wi+1:]...)
-				s.watches[p] = kept
+				for i++; i < n; i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
 				return c
 			}
 		}
-		s.watches[p] = kept
+		s.watches[p] = ws[:j]
 	}
-	return nil
+	return crefUndef
 }
 
 func (s *Solver) backtrackTo(lvl int) {
@@ -397,7 +615,7 @@ func (s *Solver) backtrackTo(lvl int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = reasonNone
 		if !s.order.contains(v) {
 			s.order.push(v, &s.activity)
 		}
@@ -418,45 +636,91 @@ func (s *Solver) bumpVar(v int) {
 	s.order.update(v, &s.activity)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e20 {
+func (s *Solver) bumpClauseAct(c cref) {
+	a := s.claAct(c) + float32(s.claInc)
+	s.setAct(c, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+			s.setAct(lc, s.claAct(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
 }
 
+// claUsed bumps a learnt clause that participated in conflict analysis:
+// activity, plus a dynamic LBD refresh — if the clause's literals now
+// span fewer decision levels than when it was learned, the stored LBD
+// improves, and the clause is protected from the next reduceDB round.
+func (s *Solver) claUsed(c cref) {
+	if s.arena[c]&hdrLearnt == 0 {
+		return
+	}
+	s.bumpClauseAct(c)
+	lbd := s.computeLBD(s.claLits(c))
+	if lbd < s.claLBD(c) {
+		s.setLBD(c, lbd)
+		s.arena[c] |= hdrProtected
+	}
+}
+
+// computeLBD counts the distinct nonzero decision levels among lits.
+func (s *Solver) computeLBD(lits []Lit) int {
+	s.lbdTick++
+	n := 0
+	for _, q := range lits {
+		lvl := s.level[q.Var()]
+		if lvl == 0 {
+			continue
+		}
+		// Decision levels can exceed the variable count: already-implied
+		// assumptions open empty levels. Grow the stamp array on demand.
+		if int(lvl) >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, make([]int64, int(lvl)+1-len(s.lbdStamp))...)
+		}
+		if s.lbdStamp[lvl] != s.lbdTick {
+			s.lbdStamp[lvl] = s.lbdTick
+			n++
+		}
+	}
+	return n
+}
+
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (with the asserting literal first) and the backjump level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+// clause (with the asserting literal first), the backjump level, and the
+// learned clause's LBD.
+func (s *Solver) analyze(confl cref) ([]Lit, int, int) {
 	learned := []Lit{0} // reserve slot for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 	var marked []int // every var whose seen flag we set, cleared at the end
 
+	process := func(q Lit) {
+		v := q.Var()
+		if s.seen[v] || s.level[v] == 0 {
+			return
+		}
+		s.seen[v] = true
+		marked = append(marked, v)
+		s.bumpVar(v)
+		if int(s.level[v]) >= s.decisionLevel() {
+			counter++
+		} else {
+			learned = append(learned, q)
+		}
+	}
+
+	// Seed with the conflicting clause's literals.
+	if confl == crefBin {
+		process(s.binConfl[0])
+		process(s.binConfl[1])
+	} else {
+		s.claUsed(confl)
+		for _, q := range s.claLits(confl) {
+			process(q)
+		}
+	}
 	for {
-		s.bumpClause(confl)
-		start := 0
-		if p != -1 {
-			start = 1
-		}
-		for _, q := range confl.lits[start:] {
-			v := q.Var()
-			if s.seen[v] || s.level[v] == 0 {
-				continue
-			}
-			s.seen[v] = true
-			marked = append(marked, v)
-			s.bumpVar(v)
-			if int(s.level[v]) >= s.decisionLevel() {
-				counter++
-			} else {
-				learned = append(learned, q)
-			}
-		}
 		// Select next literal to expand from the trail.
 		for !s.seen[s.trail[idx].Var()] {
 			idx--
@@ -468,7 +732,16 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		if counter == 0 {
 			break
 		}
-		confl = s.reason[p.Var()]
+		// Expand p's antecedent. A binary reason is the single stored
+		// literal — no clause is materialized.
+		if r := s.reason[p.Var()]; r&reasonBinFlag != 0 {
+			process(Lit(r &^ reasonBinFlag))
+		} else {
+			s.claUsed(cref(r))
+			for _, q := range s.claLits(cref(r))[1:] {
+				process(q)
+			}
+		}
 	}
 	learned[0] = p.Not()
 
@@ -477,16 +750,23 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for i := 1; i < len(learned); i++ {
 		v := learned[i].Var()
 		r := s.reason[v]
-		if r == nil {
+		if r == reasonNone {
 			learned[j] = learned[i]
 			j++
 			continue
 		}
 		redundant := true
-		for _, q := range r.lits[1:] {
+		if r&reasonBinFlag != 0 {
+			q := Lit(r &^ reasonBinFlag)
 			if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
 				redundant = false
-				break
+			}
+		} else {
+			for _, q := range s.claLits(cref(r))[1:] {
+				if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+					redundant = false
+					break
+				}
 			}
 		}
 		if !redundant {
@@ -495,6 +775,9 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 	}
 	learned = learned[:j]
+
+	// LBD of the learned clause, while every literal is still assigned.
+	lbd := s.computeLBD(learned)
 
 	// Backjump level: highest level among learned[1:].
 	bt := 0
@@ -511,38 +794,134 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, v := range marked {
 		s.seen[v] = false
 	}
-	return learned, bt
+	return learned, bt, lbd
 }
 
-func (s *Solver) record(learned []Lit) {
+func (s *Solver) record(learned []Lit, lbd int) {
 	s.learnedN++
 	s.learnedLN += int64(len(learned))
-	if len(learned) == 1 {
-		s.enqueue(learned[0], nil)
-		return
+	b := lbd
+	if b < 1 {
+		b = 1
 	}
-	c := &clause{lits: append([]Lit(nil), learned...), learnt: true}
-	s.learnts = append(s.learnts, c)
-	s.watch(c)
-	s.bumpClause(c)
-	s.enqueue(learned[0], c)
+	if b > len(s.lbdHist) {
+		b = len(s.lbdHist)
+	}
+	s.lbdHist[b-1]++
+	if lbd <= 2 {
+		s.glueN++
+	}
+	switch len(learned) {
+	case 1:
+		s.enqueue(learned[0], reasonNone)
+	case 2:
+		// Learnt binaries join the implication lists permanently; they are
+		// glue-or-better and are never deleted.
+		s.addBinWatch(learned[0], learned[1])
+		s.binLearntN++
+		s.enqueue(learned[0], binReason(learned[1]))
+	default:
+		c := s.allocClause(learned, true, lbd)
+		s.learnts = append(s.learnts, c)
+		s.watchClause(c)
+		s.bumpClauseAct(c)
+		s.enqueue(learned[0], c)
+	}
 }
 
+// reduceDB trims the long learnt database with a glue-tiered policy:
+// glue clauses (LBD ≤ 2) and locked clauses are kept forever, clauses
+// that were useful since the last reduction (protected) get one more
+// round, and of the rest the worse half — highest LBD first, lowest
+// activity as tie-break — is deleted. The arena is then compacted.
 func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(a, b int) bool { return s.learnts[a].act > s.learnts[b].act })
+	type cand struct {
+		c   cref
+		lbd int32
+		act float32
+	}
+	var removable []cand
 	keep := s.learnts[:0]
-	for i, c := range s.learnts {
-		if i < len(s.learnts)/2 || s.locked(c) || len(c.lits) <= 2 {
+	for _, c := range s.learnts {
+		switch {
+		case s.claLBD(c) <= 2 || s.locked(c):
 			keep = append(keep, c)
+		case s.arena[c]&hdrProtected != 0:
+			s.arena[c] &^= hdrProtected
+			keep = append(keep, c)
+		default:
+			removable = append(removable, cand{c, int32(s.claLBD(c)), s.claAct(c)})
+		}
+	}
+	sort.Slice(removable, func(a, b int) bool {
+		if removable[a].lbd != removable[b].lbd {
+			return removable[a].lbd > removable[b].lbd
+		}
+		return removable[a].act < removable[b].act
+	})
+	half := len(removable) / 2
+	for i, r := range removable {
+		if i < half {
+			s.arena[r.c] |= hdrDeleted
 		} else {
-			c.deleted = true
+			keep = append(keep, r.c)
 		}
 	}
 	s.learnts = keep
+	s.garbageCollect()
 }
 
-func (s *Solver) locked(c *clause) bool {
-	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+// garbageCollect compacts the arena: live clauses are copied to a fresh
+// slab in allocation order, clause references in the problem/learnt lists
+// and in trail reasons are patched via forwarding pointers, and the long
+// watch lists are rebuilt. Deleted clauses vanish; binary implication
+// lists are untouched (binaries never live in the arena).
+func (s *Solver) garbageCollect() {
+	old := s.arena
+	s.arena = make([]Lit, 0, len(old))
+	reloc := func(c cref) cref {
+		hdr := old[c]
+		n := cref(uint32(hdr)>>hdrSizeShift) + 1
+		if hdr&hdrLearnt != 0 {
+			n += 2
+		}
+		nc := cref(len(s.arena))
+		s.arena = append(s.arena, old[c:c+n]...)
+		old[c] = hdr | hdrReloc
+		old[c+1] = Lit(int32(nc))
+		return nc
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = reloc(c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = reloc(c)
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		r := s.reason[v]
+		if r == reasonNone || r&reasonBinFlag != 0 {
+			continue
+		}
+		if old[r]&hdrReloc == 0 {
+			panic("sat: reason clause collected") // locked clauses are kept; unreachable
+		}
+		s.reason[v] = uint32(int32(old[r+1]))
+	}
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.watchClause(c)
+	}
+	for _, c := range s.learnts {
+		s.watchClause(c)
+	}
+}
+
+func (s *Solver) locked(c cref) bool {
+	l0 := s.arena[s.claBase(c)]
+	return s.value(l0) == lTrue && s.reason[l0.Var()] == c
 }
 
 // luby computes the Luby restart sequence.
@@ -566,7 +945,7 @@ func luby(i int64) int64 {
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	before := s.Metrics()
 	s.solvesN++
-	s.retainedN += int64(len(s.learnts))
+	s.retainedN += int64(s.LearntsLive())
 	st := s.solve(assumptions...)
 	s.lastDelta = s.Metrics().Sub(before)
 	return st
@@ -578,7 +957,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.backtrackTo(0)
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.unsatForce = true
 		return Unsat
 	}
@@ -600,7 +979,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -609,7 +988,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 			}
 			// Do not analyze below the assumption levels: if the conflict
 			// is forced by assumptions, report Unsat for this call.
-			learned, bt := s.analyze(confl)
+			learned, bt, lbd := s.analyze(confl)
 			if len(learned) == 1 {
 				// A unit learned clause is a root-level fact independent of
 				// the assumptions. Enqueue it at level 0 — placing it at the
@@ -618,7 +997,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 				// analysis. The loop re-places the assumptions afterwards and
 				// reports Unsat if the new fact falsifies one.
 				s.backtrackTo(0)
-				s.record(learned)
+				s.record(learned, lbd)
 				s.varInc /= 0.95
 				s.claInc /= 0.999
 				continue
@@ -628,13 +1007,13 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 				s.backtrackTo(bt)
 				// Re-propagation may fail under assumptions.
 				if s.value(learned[0]) == lFalse {
-					s.record(learned)
+					s.record(learned, lbd)
 					return Unsat
 				}
 			} else {
 				s.backtrackTo(bt)
 			}
-			s.record(learned)
+			s.record(learned, lbd)
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			continue
@@ -666,7 +1045,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, int32(len(s.trail)))
-			s.enqueue(a, nil)
+			s.enqueue(a, reasonNone)
 			continue
 		}
 
@@ -674,7 +1053,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 		v := -1
 		for !s.order.empty() {
 			cand := s.order.pop(&s.activity)
-			if s.assign[cand] == lUndef {
+			if s.assign[cand].isUndef() {
 				v = cand
 				break
 			}
@@ -684,7 +1063,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 		}
 		s.decisions++
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.enqueue(MkLit(v, !s.phase[v]), nil)
+		s.enqueue(MkLit(v, !s.phase[v]), reasonNone)
 	}
 }
 

@@ -52,6 +52,17 @@ type ReuseStats struct {
 	RetainedLearnts int64 `json:"retained_learnts"`
 	// LearnedClauses is the total ever learned across all calls.
 	LearnedClauses int64 `json:"learned_clauses"`
+	// Propagations is the total implications across all calls;
+	// BinPropagations is the share served by the solver's binary
+	// implication lists without touching the clause arena.
+	Propagations    int64 `json:"propagations"`
+	BinPropagations int64 `json:"bin_propagations"`
+	// GlueLearnts counts learnt clauses with LBD ≤ 2 (never deleted), and
+	// LBDHist buckets all learnt clauses by LBD at learning time (index i
+	// holds LBD i+1; the last bucket holds LBD ≥ 8). Per-call movements of
+	// the same counters are in each Call.Delta.
+	GlueLearnts int64    `json:"glue_learnts"`
+	LBDHist     [8]int64 `json:"lbd_hist"`
 }
 
 // New returns a session over a fresh solver.
@@ -167,6 +178,10 @@ func (se *Session) Reuse() ReuseStats {
 		Solves:          m.Solves,
 		RetainedLearnts: m.RetainedLearnts,
 		LearnedClauses:  m.LearnedClauses,
+		Propagations:    m.Propagations,
+		BinPropagations: m.BinPropagations,
+		GlueLearnts:     m.GlueLearnts,
+		LBDHist:         m.LBDHist,
 	}
 }
 

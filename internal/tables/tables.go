@@ -16,7 +16,9 @@ package tables
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"parserhawk/internal/benchdata"
@@ -68,6 +70,12 @@ type Config struct {
 	// every entry-budget rung rebuilds its solver from scratch. The A/B
 	// smoke job runs the harness in both modes and compares.
 	FreshEncode bool
+	// Workers bounds how many Table 3 benchmarks compile concurrently
+	// (each compilation is already isolated; see budgetEnv). Zero means
+	// GOMAXPROCS; 1 reproduces the sequential harness exactly. Rows and
+	// StatsSink records are always delivered in benchmark order, so the
+	// output is identical across worker counts modulo timing fields.
+	Workers int
 	// StatsSink, when non-nil, receives one RunStats record per ParserHawk
 	// compilation the harness performs (both opt and orig modes). hawkbench
 	// -stats uses it to collect the solver-level JSON report.
@@ -115,21 +123,72 @@ type T3Row struct {
 // Table3 runs every benchmark through ParserHawk (optimized, and
 // optionally naive) and the two vendor-compiler models on both targets.
 func Table3(cfg Config) []T3Row {
+	return runTable3(benchdata.All(), TofinoScaled(), IPUScaled(), cfg)
+}
+
+// runTable3 compiles the benchmark set on both targets, cfg.Workers rows
+// at a time. Results and stats records are delivered in benchmark order
+// regardless of the worker count.
+func runTable3(benches []benchdata.Benchmark, tof, ipu hw.Profile, cfg Config) []T3Row {
 	cfg = cfg.withDefaults()
-	tof, ipu := TofinoScaled(), IPUScaled()
-	var rows []T3Row
-	for _, b := range benchdata.All() {
+	var selected []benchdata.Benchmark
+	for _, b := range benches {
 		if cfg.Filter != "" && !strings.Contains(b.Name(), cfg.Filter) {
 			continue
 		}
-		row := T3Row{Program: b.Name()}
-		row.Tofino = runParserHawk(b, tof, cfg)
-		row.IPU = runParserHawk(b, ipu, cfg)
-		row.VendorTofino = runVendor(b, tof, true)
-		row.VendorIPU = runVendor(b, ipu, false)
-		rows = append(rows, row)
+		selected = append(selected, b)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	if workers <= 1 {
+		// Sequential: stream records straight to the caller's sink.
+		var rows []T3Row
+		for _, b := range selected {
+			rows = append(rows, table3Row(b, tof, ipu, cfg))
+		}
+		return rows
+	}
+	// Parallel: each row buffers its records locally; flush in order.
+	rows := make([]T3Row, len(selected))
+	recs := make([][]RunStats, len(selected))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				local := cfg
+				local.StatsSink = func(r RunStats) { recs[i] = append(recs[i], r) }
+				rows[i] = table3Row(selected[i], tof, ipu, local)
+			}
+		}()
+	}
+	for i := range selected {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, rs := range recs {
+		for _, r := range rs {
+			cfg.record(r)
+		}
 	}
 	return rows
+}
+
+func table3Row(b benchdata.Benchmark, tof, ipu hw.Profile, cfg Config) T3Row {
+	row := T3Row{Program: b.Name()}
+	row.Tofino = runParserHawk(b, tof, cfg)
+	row.IPU = runParserHawk(b, ipu, cfg)
+	row.VendorTofino = runVendor(b, tof, true)
+	row.VendorIPU = runVendor(b, ipu, false)
+	return row
 }
 
 func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) TargetResult {
@@ -235,21 +294,7 @@ func shortVendorErr(err error) string {
 // timeout while the optimized compiler stays in seconds, reproducing the
 // paper's O(day) → O(minute) speedup shape.
 func Table3Wire(cfg Config) []T3Row {
-	cfg = cfg.withDefaults()
-	tof, ipu := hw.Tofino(), hw.IPU()
-	var rows []T3Row
-	for _, b := range benchdata.WireScale() {
-		if cfg.Filter != "" && !strings.Contains(b.Name(), cfg.Filter) {
-			continue
-		}
-		row := T3Row{Program: b.Name()}
-		row.Tofino = runParserHawk(b, tof, cfg)
-		row.IPU = runParserHawk(b, ipu, cfg)
-		row.VendorTofino = runVendor(b, tof, true)
-		row.VendorIPU = runVendor(b, ipu, false)
-		rows = append(rows, row)
-	}
-	return rows
+	return runTable3(benchdata.WireScale(), hw.Tofino(), hw.IPU(), cfg)
 }
 
 // Summary aggregates a Table 3 run into the §7 headline statistics.
