@@ -41,7 +41,8 @@ func main() {
 		origTimeout = flag.Duration("orig-timeout", 10*time.Second, "per-compilation budget for the naive mode")
 		statsOut    = flag.String("stats", "", "write per-run solver statistics as JSON to this file (\"-\" for stdout)")
 		fresh       = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
-		workers     = flag.Int("workers", 0, "Table 3 benchmarks compiled concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		workers     = flag.Int("workers", 0, "portfolio goroutines inside each compilation (0 = GOMAXPROCS, 1 = sequential compiler)")
+		noExchange  = flag.Bool("no-exchange", false, "disable the portfolio's learnt-clause exchange (A/B measurement)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -81,6 +82,7 @@ func main() {
 		Filter:      *filter,
 		FreshEncode: *fresh,
 		Workers:     *workers,
+		NoExchange:  *noExchange,
 	}
 	var runs []tables.RunStats
 	if *statsOut != "" {

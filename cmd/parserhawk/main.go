@@ -48,6 +48,8 @@ func main() {
 		lintOnly   = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
 		dimacsDir  = flag.String("dimacs", "", "directory to write the compile's hardest SAT query as DIMACS CNF")
 		fresh      = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
+		workers    = flag.Int("workers", 0, "portfolio goroutines for skeleton ladders and refuter probes (0 = GOMAXPROCS, 1 = sequential)")
+		noExchange = flag.Bool("no-exchange", false, "disable the portfolio's learnt-clause exchange between ladders and probes")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -105,6 +107,8 @@ func main() {
 	opts.Timeout = *timeout
 	opts.MaxIterations = *maxIter
 	opts.FreshEncode = *fresh
+	opts.Workers = *workers
+	opts.NoExchange = *noExchange
 
 	// -dimacs: keep the most-conflicted query any budget rung reports and
 	// write it out after compilation — even a failed one, since the hardest

@@ -171,38 +171,25 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		return !opts.ExhaustPortfolio && minLB > 0 && r.Resources.Entries <= minLB
 	}
 
-	type attemptOut struct {
-		res    *Result
-		solver SolverStats
-		err    error
-	}
-	attempt := func(actx context.Context, idx int) attemptOut {
-		r, solver, err := compileSkeleton(actx, spec, effOrig, effSynth, &origSks[idx], &synthSks[idx], profile, opts)
-		return attemptOut{res: r, solver: solver, err: err}
-	}
-
 	raceCtx, cancelRace := context.WithCancel(ctx)
 	defer cancelRace()
 
 	var outs []attemptOut
-	if opts.Opt7Parallelism && len(origSks) > 1 && effectiveWorkers(opts) > 1 {
-		// §6.7: solve structural subproblems in parallel. Results stream in
-		// as they finish; a provably-cheapest one cancels the still-running
-		// siblings instead of letting them burn CPU to completion. The
-		// channel is still drained fully — canceled attempts return promptly
-		// through the solver/verifier cancellation polls — so every late
-		// result is observed and no goroutine outlives the call.
-		ch := make(chan attemptOut, len(origSks))
-		for i := range origSks {
-			go func(i int) { ch <- attempt(raceCtx, i) }(i)
-		}
-		for range origSks {
-			o := <-ch
-			outs = append(outs, o)
-			if o.err == nil && provablyCheapest(o.res) {
-				cancelRace()
-			}
-		}
+	if opts.Opt7Parallelism && effectiveWorkers(opts) > 1 {
+		// §6.7 as a bounded portfolio: skeletons form a work queue drained
+		// by Options.Workers goroutines, idle workers run refuter probes
+		// against still-running ladders, and glue clauses flow through a
+		// per-skeleton exchange (see portfolio.go for why every scheduler
+		// action is schedule-invariant). Results come back in skeleton-index
+		// order, so the reduction below resolves ties exactly as the
+		// sequential loop does.
+		outs, stats.Portfolio = runPortfolio(raceCtx, portfolioInput{
+			spec: spec, effOrig: effOrig, effSynth: effSynth,
+			origSks: origSks, synthSks: synthSks,
+			profile: profile, opts: opts,
+			workers:          effectiveWorkers(opts),
+			provablyCheapest: provablyCheapest,
+		})
 	} else {
 		// Sequential portfolio (single-CPU machines, or Opt7 disabled):
 		// every structural subproblem still runs — chunk-check order alone
@@ -210,7 +197,8 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		// reaches the portfolio lower bound, which no later subproblem can
 		// improve on.
 		for i := range origSks {
-			o := attempt(raceCtx, i)
+			r, solver, err := compileSkeleton(raceCtx, spec, effOrig, effSynth, &origSks[i], &synthSks[i], profile, opts)
+			o := attemptOut{res: r, solver: solver, err: err}
 			outs = append(outs, o)
 			if o.err == nil && provablyCheapest(o.res) {
 				break
@@ -233,6 +221,9 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 			best = o.res
 		}
 	}
+	// Refuter probes are solver work this compile performed; fold them into
+	// the totals so wall time and effort stay reconcilable.
+	stats.Solver.Add(stats.Portfolio.RefuterEffort)
 	if best == nil {
 		// Order matters: a deadline explains canceled attempts, but it is
 		// checked only here, after every collected result has been
@@ -251,6 +242,7 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 	best.Stats.SkeletonsTried = stats.SkeletonsTried
 	best.Stats.SearchSpaceBits = stats.SearchSpaceBits
 	best.Stats.Solver = stats.Solver
+	best.Stats.Portfolio = stats.Portfolio
 	best.Stats.Lint = lintStats
 	best.Stats.Elapsed = time.Since(start)
 	return best, nil
@@ -294,7 +286,14 @@ func cheaper(profile hw.Profile, a, b tcam.Resources) bool {
 // solver effort of every rung attempted, including losers — it is reported
 // even when the skeleton fails, so Compile can account for the whole race.
 func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleton, profile hw.Profile, opts Options) (*Result, SolverStats, error) {
-	capN := 0
+	eng, low, capN := newSkeletonEngine(spec, effOrig, effSynth, origSk, synthSk, profile, opts)
+	return eng.runLadder(ctx, low, capN)
+}
+
+// ladderBounds computes one skeleton's entry-budget ladder endpoints: the
+// cap (sum of per-state maxima, clamped by the option and device limits)
+// and the starting rung.
+func ladderBounds(effSynth *pir.Spec, synthSk *skeleton, profile hw.Profile, opts Options) (low, capN int) {
 	for _, ss := range synthSk.States {
 		capN += ss.MaxEntries
 	}
@@ -310,7 +309,7 @@ func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, ori
 	// Start the iterative-deepening ladder there. The bound is part of the
 	// constant-synthesis domain knowledge, so the naive mode — which the
 	// paper measures without any of it — starts from one entry.
-	low := 1
+	low = 1
 	if opts.Opt4ConstantSynthesis {
 		low = skeletonLowerBound(effSynth, synthSk)
 	}
@@ -320,7 +319,15 @@ func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, ori
 	if low < 1 {
 		low = 1
 	}
+	return low, capN
+}
 
+// newSkeletonEngine builds the immutable ladder context for one skeleton
+// and returns it with the ladder endpoints. The portfolio scheduler uses
+// the endpoints for refuter targeting and lower-bound domination before
+// any ladder runs.
+func newSkeletonEngine(spec, effOrig, effSynth *pir.Spec, origSk, synthSk *skeleton, profile hw.Profile, opts Options) (*skeletonEngine, int, int) {
+	low, capN := ladderBounds(effSynth, synthSk, profile, opts)
 	eng := &skeletonEngine{
 		spec:       spec,
 		effOrig:    effOrig,
@@ -332,6 +339,13 @@ func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, ori
 		debug:      os.Getenv("PARSERHAWK_DEBUG") != "",
 		synthStart: time.Now(),
 	}
+	return eng, low, capN
+}
+
+// runLadder dispatches one skeleton's budget ladder to the architecture
+// the options select.
+func (eng *skeletonEngine) runLadder(ctx context.Context, low, capN int) (*Result, SolverStats, error) {
+	opts := eng.opts
 	if opts.FreshEncode && opts.Opt7Parallelism && effectiveWorkers(opts) > 1 && capN > low {
 		return eng.raceLadder(ctx, low, capN)
 	}
@@ -353,6 +367,14 @@ type skeletonEngine struct {
 	opts                    Options
 	debug                   bool
 	synthStart              time.Time
+
+	// exchange, when non-nil, is this skeleton's portfolio clause pool. The
+	// authoritative ladder session attaches export-only: it publishes the
+	// glue clauses it learns (tagged with its example epoch) but never
+	// imports, so its search — and therefore the final model, the entry
+	// table, and the stage count — is bit-identical to a run without any
+	// portfolio. Only the scheduler's refuter probes import.
+	exchange *sat.Exchange
 }
 
 // budgetEnv is the mutable CEGIS environment one budget runner works in:
@@ -463,6 +485,9 @@ func (eng *skeletonEngine) sequentialLadder(ctx context.Context, env *budgetEnv,
 // worker count.
 func (eng *skeletonEngine) incrementalLadder(ctx context.Context, env *budgetEnv, low, capN int) (*Result, SolverStats, error) {
 	sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, eng.opts, capN)
+	if eng.exchange != nil {
+		sy.sess.AttachExchange(eng.exchange, ladderProducerID, -1)
+	}
 	var collected []*rungResult
 	for budget := low; budget <= capN; budget++ {
 		r := eng.runBudget(ctx, budget, env, sy)
@@ -476,6 +501,53 @@ func (eng *skeletonEngine) incrementalLadder(ctx context.Context, env *budgetEnv
 		return nil, sumSolver(collected), r.err
 	}
 	return nil, sumSolver(collected), ErrNoSolution
+}
+
+// refuteStatus runs one cap-budget infeasibility probe against this skeleton: a
+// fresh deterministic re-encode of the same symbolic entry table at the
+// ladder cap, fed only the two deterministic seed examples, solved under
+// the weakest cardinality assumption the ladder will ever use. UNSAT here
+// is a proof that no rung of the ladder can ever succeed — adding
+// counterexamples only strengthens the formula, and every rung's budget
+// assumption is at least as tight — so the scheduler may cancel the
+// authoritative ladder and report ErrNoSolution, exactly the verdict the
+// ladder would have ground out rung by rung. A SAT probe proves nothing
+// (the seed examples underconstrain the table) and is discarded.
+//
+// The probe diversifies its VSIDS seed so portfolio clones explore
+// different orders, and (unless the exchange is nil) both publishes its
+// glue clauses to the skeleton's pool and imports clauses whose epoch its
+// own two-example formula covers — including the authoritative ladder's
+// early-rung exports.
+func (eng *skeletonEngine) refuteStatus(ctx context.Context, capN int, seed int64, ex *sat.Exchange, producerID int) (sat.Status, SolverStats) {
+	env, err := eng.newEnv()
+	if err != nil {
+		return sat.Unknown, SolverStats{}
+	}
+	opts := eng.opts
+	opts.QuerySink = nil // probes never own the hardest-query dump
+	sy := newSynthesizer(eng.effSynth, eng.synthSk, eng.profile, opts, capN)
+	for _, e := range env.examples.pending(0) {
+		if err := sy.addTestCase(e.in, e.out); err != nil {
+			return sat.Unknown, solverSnapshot(sy.s)
+		}
+		sy.fed++
+	}
+	sy.sess.SetEpoch(sy.fed)
+	sy.s.SAT.Diversify(seed)
+	if ex != nil {
+		sy.sess.AttachExchange(ex, producerID, sy.fed)
+	}
+	stop := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	st := sy.solveAt(capN, stop)
+	return st, solverSnapshot(sy.s)
 }
 
 // scoutDelay is how long a speculative budget rung (the scout at k+1)
@@ -637,6 +709,9 @@ func solverSnapshot(s *bv.Solver) SolverStats {
 		ConsHits:        m.ConsHits,
 		BinPropagations: m.BinPropagations,
 		GlueLearnts:     m.GlueLearnts,
+		ExportedClauses: m.ExportedClauses,
+		ImportedClauses: m.ImportedClauses,
+		ImportHits:      m.ImportHits,
 	}
 }
 
@@ -729,6 +804,9 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 			}
 			sy.fed++
 		}
+		// Tag clauses learned from here on with the example count they were
+		// derived under; the portfolio exchange filters imports by it.
+		sy.sess.SetEpoch(sy.fed)
 		if eng.debug {
 			fmt.Fprintf(os.Stderr, "  [b=%d] build=%.2fs vars=%d\n", budget, time.Since(tb).Seconds(), sy.s.NumVars())
 		}

@@ -92,6 +92,13 @@ type Options struct {
 	// as ExhaustPortfolio does for racing.
 	FreshEncode bool
 
+	// NoExchange disables the portfolio's learnt-clause exchange: ladders
+	// stop publishing glue clauses and refuter probes stop importing them.
+	// Probes and the shared best-cost bound still run. The flag exists for
+	// A/B measurement of what the exchange is worth; outcomes are identical
+	// either way, because the authoritative ladder sessions never import.
+	NoExchange bool
+
 	// QuerySink, when non-nil, enables DIMACS capture: each budget rung
 	// reports its most-conflicted SAT query (instance plus that solve's
 	// assumptions as unit clauses) for offline solver debugging. The sink
@@ -169,9 +176,14 @@ type Stats struct {
 
 	// Solver aggregates the CDCL/bit-blasting counters over every solver
 	// instance the compilation ran — including skeleton attempts and budget
-	// rungs that lost the race or were canceled, so it measures total search
-	// effort, not just the winner's.
+	// rungs that lost the race or were canceled, and the portfolio's refuter
+	// probes, so it measures total search effort, not just the winner's.
 	Solver SolverStats `json:"solver"`
+	// Portfolio reports the parallel scheduler's activity: worker count,
+	// ladders and refuter probes run, skeletons killed by refutation or the
+	// shared best-cost bound, and clause-exchange traffic. All zero when the
+	// compilation ran the sequential path (-workers 1, or Opt7 off).
+	Portfolio PortfolioStats `json:"portfolio"`
 	// Iterations is the winning budget rung's per-CEGIS-iteration trace.
 	// Solver snapshots within it are cumulative for the solver that ran the
 	// rung — the skeleton's persistent session (which may enter the rung
@@ -214,6 +226,14 @@ type SolverStats struct {
 	// GlueLearnts counts learnt clauses with literal block distance ≤ 2 at
 	// learning time; the solver's reduceDB never deletes them.
 	GlueLearnts int64 `json:"glue_learnts"`
+	// ExportedClauses counts glue clauses published to the portfolio's
+	// clause exchange; ImportedClauses counts clauses adopted from it by
+	// refuter probes; ImportHits counts the times an imported clause
+	// participated in conflict analysis — proof work the exchange saved.
+	// All zero outside the parallel portfolio path.
+	ExportedClauses int64 `json:"exported_clauses"`
+	ImportedClauses int64 `json:"imported_clauses"`
+	ImportHits      int64 `json:"import_hits"`
 }
 
 // Add accumulates another snapshot into s.
@@ -232,6 +252,9 @@ func (s *SolverStats) Add(o SolverStats) {
 	s.ConsHits += o.ConsHits
 	s.BinPropagations += o.BinPropagations
 	s.GlueLearnts += o.GlueLearnts
+	s.ExportedClauses += o.ExportedClauses
+	s.ImportedClauses += o.ImportedClauses
+	s.ImportHits += o.ImportHits
 }
 
 // Sub returns the counter movement from an earlier snapshot o to s. Every
@@ -254,7 +277,41 @@ func (s SolverStats) Sub(o SolverStats) SolverStats {
 		ConsHits:        s.ConsHits - o.ConsHits,
 		BinPropagations: s.BinPropagations - o.BinPropagations,
 		GlueLearnts:     s.GlueLearnts - o.GlueLearnts,
+		ExportedClauses: s.ExportedClauses - o.ExportedClauses,
+		ImportedClauses: s.ImportedClauses - o.ImportedClauses,
+		ImportHits:      s.ImportHits - o.ImportHits,
 	}
+}
+
+// PortfolioStats reports what the parallel portfolio scheduler did during
+// one compilation. The scheduler only ever acts on schedule-invariant facts
+// (see portfolio.go), so these counters describe how the work was carved
+// up, never why an outcome differs — outcomes do not differ.
+type PortfolioStats struct {
+	// Workers is the resolved goroutine count the portfolio ran with.
+	Workers int `json:"workers"`
+	// LaddersRun counts skeleton ladders actually started (skeletons
+	// dropped by domination or a provably-cheapest sibling are not run).
+	LaddersRun int `json:"ladders_run"`
+	// RefutersRun counts cap-budget infeasibility probes launched by idle
+	// workers; SkeletonsRefuted counts skeletons those probes killed with a
+	// cap-level UNSAT proof.
+	RefutersRun      int `json:"refuters_run"`
+	SkeletonsRefuted int `json:"skeletons_refuted"`
+	// SkeletonsDominated counts skeletons dropped (or canceled mid-ladder)
+	// because a lower-index sibling reached the portfolio's entry lower
+	// bound — the shared best-cost bound's provably-cheapest rule, the one
+	// domination test that is schedule-invariant (see portfolio.go).
+	SkeletonsDominated int `json:"skeletons_dominated"`
+	// RefuterEffort totals the refuter probes' solver work. It is folded
+	// into Stats.Solver, so compile-wide totals stay honest.
+	RefuterEffort SolverStats `json:"refuter_effort"`
+	// Exchange traffic summed over the per-skeleton clause pools: glue
+	// clauses published by producers, clauses handed to consumers, and
+	// publishes refused at the pool capacity.
+	ExchangePublished int64 `json:"exchange_published"`
+	ExchangeCollected int64 `json:"exchange_collected"`
+	ExchangeDropped   int64 `json:"exchange_dropped"`
 }
 
 // QueryDump is one captured SAT query for offline debugging: the DIMACS

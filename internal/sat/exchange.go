@@ -1,0 +1,129 @@
+package sat
+
+import "sync"
+
+// Exchange is a thread-safe learnt-clause pool shared by a portfolio of
+// solvers working on (prefixes of) the same formula. Producers publish the
+// glue clauses (LBD ≤ 2) they learn, tagged with the example epoch the
+// clause was derived under; consumers collect clauses published since their
+// last collection, filtered to epochs they have themselves encoded.
+//
+// Soundness contract: a clause learned by a CDCL solver is implied by its
+// input formula alone (never by the solve call's assumptions). In the
+// portfolio, every solver for a given skeleton encodes the same
+// deterministic circuit plus a growing set of counterexample constraints;
+// the epoch is the number of examples encoded when the clause was learned.
+// A consumer whose own example set is a superset of the producer's (its
+// epoch ≥ the clause's epoch) may therefore adopt the clause as learnt:
+// both formulas imply it. Consumers with a smaller example set must not,
+// and Collect's maxEpoch filter enforces that.
+//
+// Ownership: Publish takes ownership of the clause slices (producers drain
+// via Solver.DrainGlue and must not reuse the slices). Collect hands the
+// stored slices to consumers read-only and shared — importers copy literals
+// into their own arenas and never mutate the slice.
+type Exchange struct {
+	mu      sync.Mutex
+	pool    []pooledClause
+	cursors map[int]int // consumer id -> index of first uncollected clause
+
+	published int64
+	collected int64
+	dropped   int64 // publishes refused because the pool hit capacity
+	capacity  int
+}
+
+type pooledClause struct {
+	origin int // producer id; consumers skip their own clauses
+	epoch  int // examples encoded by the producer when this was learned
+	lits   []Lit
+}
+
+// DefaultExchangeCap bounds the number of clauses an Exchange retains.
+// Synthesis runs are finite and glue clauses are rare, so a static
+// append-only pool with a drop counter is simpler than a ring and loses
+// nothing in practice.
+const DefaultExchangeCap = 4096
+
+// NewExchange returns an empty pool. capacity ≤ 0 selects
+// DefaultExchangeCap.
+func NewExchange(capacity int) *Exchange {
+	if capacity <= 0 {
+		capacity = DefaultExchangeCap
+	}
+	return &Exchange{cursors: make(map[int]int), capacity: capacity}
+}
+
+// Publish adds clauses learned by producer origin at the given example
+// epoch. Takes ownership of the slices. Clauses beyond the pool capacity
+// are dropped (counted, not an error).
+func (x *Exchange) Publish(origin, epoch int, clauses [][]Lit) {
+	if x == nil || len(clauses) == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, c := range clauses {
+		if len(x.pool) >= x.capacity {
+			x.dropped++
+			continue
+		}
+		x.pool = append(x.pool, pooledClause{origin: origin, epoch: epoch, lits: c})
+		x.published++
+	}
+}
+
+// Collect returns every clause published since consumer's previous Collect
+// that (a) was produced by a different solver, (b) has epoch ≤ maxEpoch,
+// and (c) mentions only variables below maxVar. Skipped clauses are not
+// revisited: a consumer's maxEpoch is fixed for its lifetime, so a clause
+// filtered out now would be filtered out forever. The returned slices are
+// shared and must be treated as read-only.
+func (x *Exchange) Collect(consumer, maxEpoch, maxVar int) [][]Lit {
+	if x == nil {
+		return nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	start := x.cursors[consumer]
+	if start >= len(x.pool) {
+		return nil
+	}
+	var out [][]Lit
+	for _, p := range x.pool[start:] {
+		if p.origin == consumer || p.epoch > maxEpoch {
+			continue
+		}
+		ok := true
+		for _, l := range p.lits {
+			if l.Var() >= maxVar {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, p.lits)
+	}
+	x.cursors[consumer] = len(x.pool)
+	x.collected += int64(len(out))
+	return out
+}
+
+// ExchangeStats is a snapshot of the pool's traffic counters.
+type ExchangeStats struct {
+	Published int64 `json:"published"`
+	Collected int64 `json:"collected"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// Stats returns the pool's cumulative traffic counters.
+func (x *Exchange) Stats() ExchangeStats {
+	if x == nil {
+		return ExchangeStats{}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return ExchangeStats{Published: x.published, Collected: x.collected, Dropped: x.dropped}
+}

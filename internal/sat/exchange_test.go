@@ -1,0 +1,202 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestExchangeCollectFilters(t *testing.T) {
+	x := NewExchange(0)
+	x.Publish(0, 2, [][]Lit{{MkLit(0, false), MkLit(1, false)}}) // epoch 2, vars < 2
+	x.Publish(0, 5, [][]Lit{{MkLit(2, false)}})                  // epoch 5
+	x.Publish(1, 2, [][]Lit{{MkLit(9, false)}})                  // var 9
+
+	// Consumer 1 at maxEpoch 2, 4 vars: skips its own clause, the epoch-5
+	// clause, and the out-of-range clause.
+	got := x.Collect(1, 2, 4)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("Collect = %v, want the single epoch-2 binary", got)
+	}
+	// Cursor advanced: nothing new on a second collect, skipped clauses are
+	// not revisited.
+	if again := x.Collect(1, 2, 100); len(again) != 0 {
+		t.Fatalf("second Collect = %v, want empty", again)
+	}
+	// A different consumer with a wide filter sees everything but nothing
+	// of its own.
+	if got := x.Collect(2, 10, 100); len(got) != 3 {
+		t.Fatalf("consumer 2 Collect = %d clauses, want 3", len(got))
+	}
+	st := x.Stats()
+	if st.Published != 3 || st.Collected != 4 {
+		t.Fatalf("stats = %+v, want published 3, collected 4", st)
+	}
+}
+
+func TestExchangeCapacityDropsExcess(t *testing.T) {
+	x := NewExchange(2)
+	x.Publish(0, 0, [][]Lit{{MkLit(0, false)}, {MkLit(1, false)}, {MkLit(2, false)}})
+	st := x.Stats()
+	if st.Published != 2 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want published 2, dropped 1", st)
+	}
+}
+
+func TestNilExchangeIsInert(t *testing.T) {
+	var x *Exchange
+	x.Publish(0, 0, [][]Lit{{MkLit(0, false)}})
+	if got := x.Collect(1, 0, 10); got != nil {
+		t.Fatalf("nil Collect = %v, want nil", got)
+	}
+	if st := x.Stats(); st != (ExchangeStats{}) {
+		t.Fatalf("nil Stats = %+v, want zero", st)
+	}
+}
+
+// TestGlueExportImportPreservesStatus drives the full path: a producer
+// solver learns glue clauses on PHP, publishes them, and a consumer solving
+// the identical formula imports them at restart boundaries. Learned clauses
+// are implied by the formula, so the consumer's verdict must not change,
+// and the import metrics must register the traffic.
+func TestGlueExportImportPreservesStatus(t *testing.T) {
+	x := NewExchange(0)
+
+	producer := New()
+	producer.CollectGlue = true
+	pigeonhole(producer, 8, 7)
+	if got := producer.Solve(); got != Unsat {
+		t.Fatalf("producer PHP(8,7) = %v, want unsat", got)
+	}
+	x.Publish(0, 0, producer.DrainGlue())
+	if producer.Metrics().ExportedClauses == 0 {
+		t.Fatal("producer exported no glue clauses from PHP(8,7)")
+	}
+
+	consumer := New()
+	pigeonhole(consumer, 8, 7)
+	consumer.ImportHook = func() [][]Lit {
+		return x.Collect(1, 0, consumer.NumVars())
+	}
+	if got := consumer.Solve(); got != Unsat {
+		t.Fatalf("consumer PHP(8,7) = %v, want unsat", got)
+	}
+	m := consumer.Metrics()
+	if m.ImportedClauses == 0 {
+		t.Fatal("consumer imported no clauses despite a populated pool")
+	}
+}
+
+// TestImportIsSoundOnRandomInstances cross-checks that importing another
+// solver's learnt clauses never flips a verdict, SAT or UNSAT, across many
+// small random 3-SAT instances near the phase transition.
+func TestImportIsSoundOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for inst := 0; inst < 60; inst++ {
+		nVars := 8 + rng.Intn(5)
+		nClauses := int(4.2 * float64(nVars))
+		cnf := make([][]Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			var cl []Lit
+			for len(cl) < 3 {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+		}
+		want := bruteForce(nVars, cnf)
+
+		build := func() (*Solver, bool) {
+			s := New()
+			for v := 0; v < nVars; v++ {
+				s.NewVar()
+			}
+			bad := false
+			for _, cl := range cnf {
+				if !s.AddClause(cl...) {
+					bad = true
+				}
+			}
+			return s, bad
+		}
+
+		x := NewExchange(0)
+		producer, pBad := build()
+		producer.CollectGlue = true
+		pGot := producer.Solve() == Sat && !pBad
+		if pGot != want {
+			t.Fatalf("instance %d: producer = %v, brute force = %v", inst, pGot, want)
+		}
+		x.Publish(0, 0, producer.DrainGlue())
+
+		consumer, cBad := build()
+		consumer.ImportHook = func() [][]Lit {
+			return x.Collect(1, 0, consumer.NumVars())
+		}
+		cGot := consumer.Solve() == Sat && !cBad
+		if cGot != want {
+			t.Fatalf("instance %d: consumer with imports = %v, brute force = %v", inst, cGot, want)
+		}
+	}
+}
+
+func TestDiversifyKeepsVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for inst := 0; inst < 40; inst++ {
+		nVars := 8 + rng.Intn(5)
+		nClauses := int(4.2 * float64(nVars))
+		cnf := make([][]Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			var cl []Lit
+			for len(cl) < 3 {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+		}
+		want := bruteForce(nVars, cnf)
+
+		for seed := int64(0); seed < 3; seed++ {
+			s := New()
+			for v := 0; v < nVars; v++ {
+				s.NewVar()
+			}
+			unsatAdd := false
+			for _, cl := range cnf {
+				if !s.AddClause(cl...) {
+					unsatAdd = true
+				}
+			}
+			s.Diversify(seed)
+			got := s.Solve() == Sat && !unsatAdd
+			if got != want {
+				t.Fatalf("instance %d seed %d: diversified solver = %v, brute force = %v", inst, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentExchangeTraffic hammers one pool from several goroutines
+// solving independent formulas — the -race job's target for the sat layer.
+func TestConcurrentExchangeTraffic(t *testing.T) {
+	x := NewExchange(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := New()
+			s.CollectGlue = true
+			s.ImportHook = func() [][]Lit {
+				return x.Collect(id, 0, s.NumVars())
+			}
+			pigeonhole(s, 7, 6)
+			if got := s.Solve(); got != Unsat {
+				t.Errorf("worker %d: PHP(7,6) = %v, want unsat", id, got)
+			}
+			x.Publish(id, 0, s.DrainGlue())
+		}(w)
+	}
+	wg.Wait()
+	if st := x.Stats(); st.Published == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+}

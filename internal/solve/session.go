@@ -30,6 +30,10 @@ type Session struct {
 	calls  []Call
 
 	lastAssumps []bv.Lit // assumptions of the most recent Solve call
+
+	ex    *sat.Exchange // nil when this session is not in a portfolio
+	exID  int
+	epoch int // examples encoded so far; tags exported clauses
 }
 
 // Call records one Solve call's outcome and cost: the per-call counter
@@ -80,6 +84,32 @@ func Wrap(s *bv.Solver) *Session { return &Session{s: s} }
 // Solver exposes the underlying bit-blaster for encoding. Constraints
 // added here are permanent; per-query constraints belong in a Scope.
 func (se *Session) Solver() *bv.Solver { return se.s }
+
+// AttachExchange joins this session to a portfolio clause pool as producer
+// id. Every Solve call afterwards stages the glue clauses it learns and
+// publishes them tagged with the session's current epoch (see SetEpoch).
+// When importMaxEpoch ≥ 0 the session also consumes from the pool: clauses
+// with epoch ≤ importMaxEpoch are injected at the solver's restart
+// boundaries. Sessions whose models must stay bit-identical to a
+// non-portfolio run (ParserHawk's authoritative CEGIS ladders) attach
+// export-only (importMaxEpoch < 0): publishing copies clauses out but
+// never perturbs the session's own search.
+func (se *Session) AttachExchange(x *sat.Exchange, id, importMaxEpoch int) {
+	se.ex = x
+	se.exID = id
+	se.s.SAT.CollectGlue = true
+	if importMaxEpoch >= 0 {
+		se.s.SAT.ImportHook = func() [][]sat.Lit {
+			return x.Collect(id, importMaxEpoch, se.s.SAT.NumVars())
+		}
+	}
+}
+
+// SetEpoch records how many CEGIS examples have been encoded into the
+// session's formula. Clauses learned from now on are implied by the base
+// encoding plus exactly those examples, and are published under this tag;
+// consumers only import clauses whose epoch their own formula covers.
+func (se *Session) SetEpoch(examples int) { se.epoch = examples }
 
 // Scope is a set of assumption literals active in every Solve call until
 // it is dropped or committed. Scopes are how one encoded instance serves
@@ -146,6 +176,9 @@ func (se *Session) Solve(cancel func() bool) sat.Status {
 	assumps := se.assumptions()
 	retained := int64(se.s.SAT.LearntsLive())
 	st := se.s.Solve(assumps...)
+	if se.ex != nil {
+		se.ex.Publish(se.exID, se.epoch, se.s.SAT.DrainGlue())
+	}
 	se.lastAssumps = assumps
 	se.calls = append(se.calls, Call{
 		Status:          st,

@@ -16,9 +16,7 @@ package tables
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"parserhawk/internal/benchdata"
@@ -70,12 +68,18 @@ type Config struct {
 	// every entry-budget rung rebuilds its solver from scratch. The A/B
 	// smoke job runs the harness in both modes and compares.
 	FreshEncode bool
-	// Workers bounds how many Table 3 benchmarks compile concurrently
-	// (each compilation is already isolated; see budgetEnv). Zero means
-	// GOMAXPROCS; 1 reproduces the sequential harness exactly. Rows and
-	// StatsSink records are always delivered in benchmark order, so the
-	// output is identical across worker counts modulo timing fields.
+	// Workers is passed through to core.Options.Workers: how many portfolio
+	// goroutines each compilation runs its skeleton ladders and refuter
+	// probes on. Zero means GOMAXPROCS; 1 reproduces the sequential
+	// compiler exactly. The harness itself runs benchmarks one at a time —
+	// parallelism lives inside the compile, where the portfolio scheduler
+	// guarantees identical verdicts, entry tables, and stage counts at
+	// every worker count (only timing fields vary).
 	Workers int
+	// NoExchange disables the portfolio's learnt-clause exchange (see
+	// core.Options.NoExchange); the A/B harness uses it to measure what
+	// clause sharing is worth.
+	NoExchange bool
 	// StatsSink, when non-nil, receives one RunStats record per ParserHawk
 	// compilation the harness performs (both opt and orig modes). hawkbench
 	// -stats uses it to collect the solver-level JSON report.
@@ -126,58 +130,19 @@ func Table3(cfg Config) []T3Row {
 	return runTable3(benchdata.All(), TofinoScaled(), IPUScaled(), cfg)
 }
 
-// runTable3 compiles the benchmark set on both targets, cfg.Workers rows
-// at a time. Results and stats records are delivered in benchmark order
-// regardless of the worker count.
+// runTable3 compiles the benchmark set on both targets, one benchmark at
+// a time; cfg.Workers parallelizes inside each compilation (the portfolio
+// scheduler), not across rows, so wall-clock and solver counters attribute
+// cleanly to individual benchmarks and the stats stream arrives in order
+// by construction.
 func runTable3(benches []benchdata.Benchmark, tof, ipu hw.Profile, cfg Config) []T3Row {
 	cfg = cfg.withDefaults()
-	var selected []benchdata.Benchmark
+	var rows []T3Row
 	for _, b := range benches {
 		if cfg.Filter != "" && !strings.Contains(b.Name(), cfg.Filter) {
 			continue
 		}
-		selected = append(selected, b)
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(selected) {
-		workers = len(selected)
-	}
-	if workers <= 1 {
-		// Sequential: stream records straight to the caller's sink.
-		var rows []T3Row
-		for _, b := range selected {
-			rows = append(rows, table3Row(b, tof, ipu, cfg))
-		}
-		return rows
-	}
-	// Parallel: each row buffers its records locally; flush in order.
-	rows := make([]T3Row, len(selected))
-	recs := make([][]RunStats, len(selected))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				local := cfg
-				local.StatsSink = func(r RunStats) { recs[i] = append(recs[i], r) }
-				rows[i] = table3Row(selected[i], tof, ipu, local)
-			}
-		}()
-	}
-	for i := range selected {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, rs := range recs {
-		for _, r := range rs {
-			cfg.record(r)
-		}
+		rows = append(rows, table3Row(b, tof, ipu, cfg))
 	}
 	return rows
 }
@@ -196,6 +161,8 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	opts.Timeout = cfg.OptTimeout
 	opts.MaxIterations = b.MaxIterations
 	opts.FreshEncode = cfg.FreshEncode
+	opts.Workers = cfg.Workers
+	opts.NoExchange = cfg.NoExchange
 	t0 := time.Now()
 	res, err := core.Compile(b.Spec, profile, opts)
 	out := TargetResult{OptSeconds: time.Since(t0).Seconds()}
