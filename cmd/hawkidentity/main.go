@@ -1,0 +1,357 @@
+// Command hawkidentity is the service-vs-CLI identity gate: it replays a
+// slice of the Table 3 benchmark suite through a running hawkd instance
+// and through the parserhawk CLI binary, and fails on any divergence in
+// verdict, TCAM entry table, entry count, or stage count. It also
+// exercises the service's cache (a repeated spec must be served without
+// another compilation) and its request coalescing (two concurrent
+// identical requests must share one compilation).
+//
+// Usage:
+//
+//	hawkidentity -addr http://127.0.0.1:8080 -parserhawk ./parserhawk \
+//	    -target tofino-scaled -filter 'Parse'
+//
+// The gate fails when the filter matches zero benchmarks, so a renamed
+// suite cannot silently disable it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parserhawk"
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of the running hawkd instance")
+		cli     = flag.String("parserhawk", "./parserhawk", "path to the parserhawk CLI binary")
+		target  = flag.String("target", "tofino-scaled", "profile name to compile for (must be known to both sides)")
+		filter  = flag.String("filter", "Parse", "restrict benchmarks to names containing this string")
+		timeout = flag.Duration("timeout", 120*time.Second, "per-compilation time budget")
+	)
+	flag.Parse()
+
+	var benches []benchdata.Benchmark
+	for _, b := range benchdata.All() {
+		if *filter == "" || strings.Contains(b.Name(), *filter) {
+			benches = append(benches, b)
+		}
+	}
+	if len(benches) == 0 {
+		fatalf("replay matched zero specs (filter %q) — the gate would be vacuous", *filter)
+	}
+
+	tmp, err := os.MkdirTemp("", "hawkidentity")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	g := &gate{addr: strings.TrimRight(*addr, "/"), cli: *cli, target: *target, timeout: *timeout, tmp: tmp}
+	mismatches := 0
+	var firstOK *benchdata.Benchmark
+	for i := range benches {
+		b := benches[i]
+		if err := g.check(b); err != nil {
+			fmt.Fprintf(os.Stderr, "MISMATCH %-36s %v\n", b.Name(), err)
+			mismatches++
+			continue
+		}
+		if firstOK == nil {
+			firstOK = &benches[i]
+		}
+	}
+	if firstOK == nil {
+		fatalf("no benchmark produced a comparable outcome on either side")
+	}
+	if err := g.checkCache(*firstOK); err != nil {
+		fmt.Fprintf(os.Stderr, "CACHE FAILURE: %v\n", err)
+		mismatches++
+	}
+	if err := g.checkCoalescing(*firstOK); err != nil {
+		fmt.Fprintf(os.Stderr, "COALESCE FAILURE: %v\n", err)
+		mismatches++
+	}
+	if mismatches > 0 {
+		fatalf("%d identity failure(s) over %d benchmark(s)", mismatches, len(benches))
+	}
+	fmt.Printf("hawkidentity: %d benchmark(s) identical between hawkd and the CLI; cache and coalescing verified\n", len(benches))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hawkidentity: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// sideOutcome is one compiler invocation's comparable surface.
+type sideOutcome struct {
+	verdict string
+	program string // entry table text (Program.String())
+	entries int
+	stages  int
+}
+
+func (o sideOutcome) String() string {
+	if o.verdict != serve.VerdictOK {
+		return o.verdict
+	}
+	return fmt.Sprintf("%s entries=%d stages=%d", o.verdict, o.entries, o.stages)
+}
+
+type gate struct {
+	addr    string
+	cli     string
+	target  string
+	timeout time.Duration
+	tmp     string
+}
+
+// check compiles one benchmark through both sides and compares.
+func (g *gate) check(b benchdata.Benchmark) error {
+	src, err := parserhawk.PrintSpec(b.Spec)
+	if err != nil {
+		return fmt.Errorf("rendering spec: %v", err)
+	}
+	cliOut, err := g.runCLI(b, src)
+	if err != nil {
+		return err
+	}
+	svcOut, _, err := g.runService(b, src, 0)
+	if err != nil {
+		return err
+	}
+	if diff := compare(cliOut, svcOut); diff != "" {
+		return fmt.Errorf("%s", diff)
+	}
+	fmt.Printf("ok %-36s %s\n", b.Name(), cliOut)
+	return nil
+}
+
+func compare(cli, svc sideOutcome) string {
+	if cli.verdict != svc.verdict {
+		return fmt.Sprintf("verdict: CLI %s, service %s", cli, svc)
+	}
+	if cli.verdict != serve.VerdictOK {
+		return ""
+	}
+	if cli.entries != svc.entries {
+		return fmt.Sprintf("entries: CLI %d, service %d", cli.entries, svc.entries)
+	}
+	if cli.stages != svc.stages {
+		return fmt.Sprintf("stages: CLI %d, service %d", cli.stages, svc.stages)
+	}
+	if cli.program != svc.program {
+		return fmt.Sprintf("entry tables differ:\n--- CLI ---\n%s--- service ---\n%s", cli.program, svc.program)
+	}
+	return ""
+}
+
+// runCLI compiles via the parserhawk binary, decoding the deployment
+// JSON it emits so the entry table and resource counts come from the
+// CLI's own output artifact.
+func (g *gate) runCLI(b benchdata.Benchmark, src string) (sideOutcome, error) {
+	file := filepath.Join(g.tmp, sanitize(b.Name())+".p4")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		return sideOutcome{}, err
+	}
+	cmd := exec.Command(g.cli,
+		"-target", g.target,
+		"-timeout", g.timeout.String(),
+		"-unroll", strconv.Itoa(b.MaxIterations),
+		"-verify=false", "-q", "-json",
+		file)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	runErr := cmd.Run()
+	if runErr == nil {
+		prog, err := parserhawk.DecodeProgramJSON(stdout.Bytes())
+		if err != nil {
+			return sideOutcome{}, fmt.Errorf("decoding CLI program JSON: %v", err)
+		}
+		res := prog.Resources()
+		return sideOutcome{
+			verdict: serve.VerdictOK,
+			program: prog.String(),
+			entries: res.Entries,
+			stages:  res.Stages,
+		}, nil
+	}
+	msg := stderr.String()
+	switch {
+	case strings.Contains(msg, "timed out"):
+		return sideOutcome{verdict: serve.VerdictUnknown}, nil
+	case strings.Contains(msg, "no implementation fits"):
+		return sideOutcome{verdict: serve.VerdictNoSolution}, nil
+	case strings.Contains(msg, "rejected by lint"):
+		return sideOutcome{verdict: serve.VerdictLintError}, nil
+	}
+	return sideOutcome{}, fmt.Errorf("CLI failed: %v: %s", runErr, strings.TrimSpace(msg))
+}
+
+// runService compiles via POST /v1/compile. seed=0 keeps the library
+// default; a non-zero seed addresses a fresh cache entry (used by the
+// coalescing probe).
+func (g *gate) runService(b benchdata.Benchmark, src string, seed int64) (sideOutcome, serve.CompileResponse, error) {
+	req := serve.CompileRequest{
+		Source:  src,
+		Profile: g.target,
+		Options: &serve.CompileOptions{MaxIterations: b.MaxIterations, Seed: seed},
+	}
+	body, err := jsonBody(req)
+	if err != nil {
+		return sideOutcome{}, serve.CompileResponse{}, err
+	}
+	// The wait deadline comfortably exceeds the compile budget: this gate
+	// measures identity, not latency.
+	url := fmt.Sprintf("%s/v1/compile?timeout=%s", g.addr, (2 * g.timeout).String())
+	httpResp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		return sideOutcome{}, serve.CompileResponse{}, fmt.Errorf("POST /v1/compile: %v", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(httpResp.Body)
+		return sideOutcome{}, serve.CompileResponse{}, fmt.Errorf("service HTTP %d: %s", httpResp.StatusCode, strings.TrimSpace(buf.String()))
+	}
+	var resp serve.CompileResponse
+	if err := jsonDecode(httpResp.Body, &resp); err != nil {
+		return sideOutcome{}, serve.CompileResponse{}, fmt.Errorf("decoding service response: %v", err)
+	}
+	return sideOutcome{
+		verdict: resp.Verdict,
+		program: resp.Program,
+		entries: resp.Entries,
+		stages:  resp.Stages,
+	}, resp, nil
+}
+
+// checkCache replays an already-compiled benchmark and requires the
+// response to come from the cache without another compilation starting.
+func (g *gate) checkCache(b benchdata.Benchmark) error {
+	src, err := parserhawk.PrintSpec(b.Spec)
+	if err != nil {
+		return err
+	}
+	before, err := g.scrapeCounter("hawkd_compiles_total")
+	if err != nil {
+		return err
+	}
+	_, resp, err := g.runService(b, src, 0)
+	if err != nil {
+		return err
+	}
+	if resp.Cache != serve.CacheHit {
+		return fmt.Errorf("repeated spec %q not served from cache (disposition %q)", b.Name(), resp.Cache)
+	}
+	after, err := g.scrapeCounter("hawkd_compiles_total")
+	if err != nil {
+		return err
+	}
+	if after != before {
+		return fmt.Errorf("repeated spec %q incremented hawkd_compiles_total (%d -> %d)", b.Name(), before, after)
+	}
+	fmt.Printf("ok cache: repeated %q served from cache, compile counter unchanged at %d\n", b.Name(), after)
+	return nil
+}
+
+// checkCoalescing fires two concurrent identical requests at a fresh
+// cache key (a new seed) and requires them to have shared exactly one
+// compilation with identical outcomes.
+func (g *gate) checkCoalescing(b benchdata.Benchmark) error {
+	src, err := parserhawk.PrintSpec(b.Spec)
+	if err != nil {
+		return err
+	}
+	const seed = 7 // any non-default seed: a fresh content address
+	before, err := g.scrapeCounter("hawkd_compiles_total")
+	if err != nil {
+		return err
+	}
+	outs := make([]sideOutcome, 2)
+	resps := make([]serve.CompileResponse, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], resps[i], errs[i] = g.runService(b, src, seed)
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("concurrent request %d: %v", i, e)
+		}
+	}
+	if diff := compare(outs[0], outs[1]); diff != "" {
+		return fmt.Errorf("concurrent identical requests diverged: %s", diff)
+	}
+	after, err := g.scrapeCounter("hawkd_compiles_total")
+	if err != nil {
+		return err
+	}
+	if after-before != 1 {
+		return fmt.Errorf("concurrent identical pair ran %d compilations, want exactly 1", after-before)
+	}
+	fmt.Printf("ok coalesce: concurrent pair shared one compilation (dispositions %q, %q)\n",
+		resps[0].Cache, resps[1].Cache)
+	return nil
+}
+
+// scrapeCounter reads one un-labeled counter from GET /stats.
+func (g *gate) scrapeCounter(name string) (int64, error) {
+	resp, err := http.Get(g.addr + "/stats")
+	if err != nil {
+		return 0, fmt.Errorf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found in /stats", name)
+}
+
+func jsonBody(v any) (io.Reader, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -29,11 +29,12 @@ import (
 	"time"
 
 	"parserhawk"
+	"parserhawk/internal/tables"
 )
 
 func main() {
 	var (
-		target     = flag.String("target", "tofino", "target device: tofino, ipu, or custom")
+		target     = flag.String("target", "tofino", "target device: tofino, ipu, tofino-scaled, ipu-scaled, or custom")
 		key        = flag.Int("key", 8, "custom target: transition-key width limit (bits)")
 		lookahead  = flag.Int("lookahead", 16, "custom target: lookahead window (bits)")
 		extract    = flag.Int("extract", 64, "custom target: per-entry extraction limit (bits)")
@@ -87,17 +88,19 @@ func main() {
 		}()
 	}
 
+	// Targets resolve through the same registry the hawkd service uses
+	// (tables.ProfileByName), so every profile name the service accepts
+	// the CLI accepts too — the service-identity CI gate depends on it.
 	var profile parserhawk.Profile
-	switch *target {
-	case "tofino":
-		profile = parserhawk.Tofino()
-	case "ipu":
-		profile = parserhawk.IPU()
-	case "custom":
+	if *target == "custom" {
 		profile = parserhawk.Custom(*key, *lookahead, *extract)
-	default:
-		fmt.Fprintf(os.Stderr, "parserhawk: unknown target %q\n", *target)
-		os.Exit(2)
+	} else {
+		p, ok := tables.ProfileByName(*target)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parserhawk: unknown target %q\n", *target)
+			os.Exit(2)
+		}
+		profile = p
 	}
 
 	opts := parserhawk.DefaultOptions()

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// Fingerprint encodes the Options fields that can influence a
+// compilation's outcome — the verdict, the entry table, and the stage
+// count — as a stable human-readable string. It is the options component
+// of the compile service's content-addressed cache key: two Options with
+// equal fingerprints are guaranteed to produce identical outcomes on the
+// same (spec, profile), so a cached result may be served for either.
+//
+// Deliberately excluded are the fields the compiler's determinism
+// contracts prove outcome-invariant, so they never fragment the cache:
+//
+//   - Workers: the portfolio scheduler reproduces the sequential
+//     compiler's verdicts, entry tables, and stage counts at every worker
+//     count (see portfolio.go and the w4-vs-w1 CI identity job).
+//   - FreshEncode: incremental sessions and per-rung re-encoding agree on
+//     every outcome (the ab-smoke CI gate).
+//   - NoExchange / ExhaustPortfolio: measurement toggles; the
+//     authoritative ladders never import clauses, and early termination
+//     only skips work a provably-cheapest result already dominates.
+//   - Timeout: a deadline decides whether a result arrives, never which
+//     result arrives. Timed-out compilations must not be cached at all.
+//   - QuerySink / Seed-independent instrumentation: observation only.
+//
+// Seed stays in the key: it drives CEGIS test-case generation, and while
+// any seed yields a correct program, different seeds may reach different
+// (equally cheap) entry tables.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf(
+		"opts1=%t,2=%t,3=%t,4=%t,5=%t,6=%t,7=%t;unroll=%d;budget=%d;exbits=%d;samples=%d;skiplint=%t;seed=%d",
+		o.Opt1SpecGuidedKeys, o.Opt2BitWidthMin, o.Opt3Preallocation,
+		o.Opt4ConstantSynthesis, o.Opt5KeyGrouping, o.Opt6FreezeVarbits,
+		o.Opt7Parallelism,
+		o.MaxIterations, o.MaxEntryBudget,
+		o.ExhaustiveVerifyBits, o.VerifySamples,
+		o.SkipLint, o.Seed,
+	)
+}

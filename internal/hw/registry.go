@@ -1,0 +1,15 @@
+package hw
+
+// ByName returns the built-in full-device profile with the given name.
+// The compile service and the CLIs resolve user-supplied target names
+// through it (the evaluation harness adds its scaled equivalents on top;
+// see tables.ProfileByName).
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "tofino":
+		return Tofino(), true
+	case "ipu":
+		return IPU(), true
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testOutcome(size int64) *outcome {
+	return &outcome{resp: CompileResponse{Verdict: VerdictOK}, cacheable: true, size: size}
+}
+
+func TestLRUHitMissCounters(t *testing.T) {
+	c := newLRUCache(100)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.add("a", testOutcome(10))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("miss after add")
+	}
+	hits, misses, evictions, used, entries := c.snapshot()
+	if hits != 1 || misses != 1 || evictions != 0 || used != 10 || entries != 1 {
+		t.Fatalf("snapshot hits=%d misses=%d evictions=%d used=%d entries=%d", hits, misses, evictions, used, entries)
+	}
+}
+
+func TestLRUEvictsColdEnd(t *testing.T) {
+	c := newLRUCache(30)
+	c.add("a", testOutcome(10))
+	c.add("b", testOutcome(10))
+	c.add("c", testOutcome(10))
+	c.get("a") // warm a; b is now the cold end
+	c.add("d", testOutcome(10))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; LRU should have evicted the cold end")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted, want only b gone", k)
+		}
+	}
+	_, _, evictions, used, entries := c.snapshot()
+	if evictions != 1 || used != 30 || entries != 3 {
+		t.Fatalf("evictions=%d used=%d entries=%d", evictions, used, entries)
+	}
+}
+
+func TestLRUOversizedEntrySkipped(t *testing.T) {
+	c := newLRUCache(30)
+	c.add("a", testOutcome(10))
+	c.add("huge", testOutcome(31))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("entry larger than the whole budget was stored")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("existing entry was evicted for an unstorable one")
+	}
+}
+
+func TestLRUReAddRefreshes(t *testing.T) {
+	c := newLRUCache(100)
+	c.add("a", testOutcome(10))
+	c.add("a", testOutcome(20))
+	_, _, _, used, entries := c.snapshot()
+	if used != 20 || entries != 1 {
+		t.Fatalf("used=%d entries=%d after re-add, want 20 and 1", used, entries)
+	}
+}
+
+func TestLRUBudgetHeldUnderChurn(t *testing.T) {
+	c := newLRUCache(95)
+	for i := 0; i < 200; i++ {
+		c.add(fmt.Sprintf("k%d", i), testOutcome(10))
+		if _, _, _, used, _ := c.snapshot(); used > 95 {
+			t.Fatalf("budget exceeded: %d > 95 at insert %d", used, i)
+		}
+	}
+	_, _, evictions, used, entries := c.snapshot()
+	if entries != 9 || used != 90 || evictions != 191 {
+		t.Fatalf("entries=%d used=%d evictions=%d", entries, used, evictions)
+	}
+}

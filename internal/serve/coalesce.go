@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup implements single-flight request coalescing: all requests
+// for the same cache key share one compilation. The first request to
+// arrive becomes the leader and starts the compile on a dedicated
+// goroutine; later identical requests join as waiters and receive the
+// same outcome when it lands. The compile's context stays alive exactly
+// as long as someone is waiting — when the last waiter abandons the
+// flight (its own deadline expired, or the client disconnected), the
+// flight context is canceled and the in-flight SAT search aborts through
+// the compiler's existing cancellation path.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{} // closed once out is set
+	out     *outcome      // immutable after done closes
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// join returns the in-flight compilation for key, starting one when none
+// exists. newCtx builds the compile's context (the server bounds it with
+// the compile timeout); run performs the compile and is invoked on the
+// flight's own goroutine. Every join must be balanced by exactly one
+// leave, after the caller has stopped reading the flight.
+func (g *flightGroup) join(key string, newCtx func() (context.Context, context.CancelFunc), run func(ctx context.Context) *outcome) (f *flight, leader bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		return f, false
+	}
+	ctx, cancel := newCtx()
+	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		out := run(ctx)
+		g.mu.Lock()
+		// Remove before publishing: a request arriving after the result
+		// is published must start fresh (or hit the cache), not join a
+		// finished flight.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		f.out = out
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return f, true
+}
+
+// leave drops one waiter. When the last waiter leaves a still-running
+// flight, the compile context is canceled; the flight goroutine then
+// publishes its canceled outcome to nobody and exits.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last && g.flights[key] == f {
+		// Nobody is listening anymore; forget the flight so the next
+		// identical request is not handed a doomed compilation.
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// size reports how many distinct compilations are in flight.
+func (g *flightGroup) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// scheduler shares one pool of portfolio worker tokens fairly across
+// concurrent compilations. Each compile asks for the worker count it
+// would have used standalone (core.Options.Workers) and is granted
+// between 1 and that many tokens; the grant becomes the compile's actual
+// Options.Workers.
+//
+// The fairness contract is FIFO admission with work-conserving grants: a
+// compile never waits while tokens are free (it takes what is available,
+// up to its ask, rather than holding out for a full allotment), and
+// waiters are served strictly in arrival order. Shrinking a grant is
+// always safe because the portfolio's determinism contract makes the
+// compile's verdict, entry table, and stage count independent of the
+// worker count — the scheduler trades only latency, never outcomes.
+type scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	free     int
+	queue    []*schedWaiter
+}
+
+type schedWaiter struct {
+	want  int
+	ready chan int // buffered; receives the grant exactly once
+}
+
+func newScheduler(capacity int) *scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &scheduler{capacity: capacity, free: capacity}
+}
+
+// acquire blocks until the scheduler grants 1..want worker tokens or ctx
+// is done. The caller must release exactly the granted count.
+func (s *scheduler) acquire(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	if want > s.capacity {
+		want = s.capacity
+	}
+	s.mu.Lock()
+	if len(s.queue) == 0 && s.free > 0 {
+		g := min(want, s.free)
+		s.free -= g
+		s.mu.Unlock()
+		return g, nil
+	}
+	w := &schedWaiter{want: want, ready: make(chan int, 1)}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case g := <-w.ready:
+		return g, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		// A grant may have raced the cancellation: release and the first
+		// waiter (if any) inherits the tokens, so none leak.
+		select {
+		case g := <-w.ready:
+			s.release(g)
+		default:
+		}
+		return 0, ctx.Err()
+	}
+}
+
+// release returns n tokens to the pool and serves queued waiters in FIFO
+// order, each getting up to its ask while tokens last.
+func (s *scheduler) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	for len(s.queue) > 0 && s.free > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		g := min(w.want, s.free)
+		s.free -= g
+		w.ready <- g
+	}
+	s.mu.Unlock()
+}
+
+// snapshot returns the queue-depth and workers-in-use gauges.
+func (s *scheduler) snapshot() (queued, inUse int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.queue)), int64(s.capacity - s.free)
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerGrantsUpToCapacity(t *testing.T) {
+	s := newScheduler(4)
+	g, err := s.acquire(context.Background(), 8)
+	if err != nil || g != 4 {
+		t.Fatalf("grant %d err %v, want the full capacity 4", g, err)
+	}
+	s.release(g)
+	if queued, inUse := s.snapshot(); queued != 0 || inUse != 0 {
+		t.Fatalf("queued=%d inUse=%d after release", queued, inUse)
+	}
+}
+
+func TestSchedulerWorkConserving(t *testing.T) {
+	s := newScheduler(4)
+	g1, _ := s.acquire(context.Background(), 3)
+	if g1 != 3 {
+		t.Fatalf("first grant %d, want 3", g1)
+	}
+	// One token free: a wide ask takes it instead of waiting.
+	g2, err := s.acquire(context.Background(), 4)
+	if err != nil || g2 != 1 {
+		t.Fatalf("second grant %d err %v, want the 1 free token", g2, err)
+	}
+	s.release(g1)
+	s.release(g2)
+}
+
+func TestSchedulerFIFOUnderContention(t *testing.T) {
+	s := newScheduler(1)
+	first, _ := s.acquire(context.Background(), 1)
+
+	const n = 5
+	var order []int
+	var mu sync.Mutex
+	var started sync.WaitGroup
+	var finished sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		finished.Add(1)
+		go func(i int) {
+			defer finished.Done()
+			// Queue in index order: each goroutine waits for its turn to
+			// enqueue so arrival order is deterministic.
+			for {
+				if q, _ := s.snapshot(); int(q) == i {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			started.Done()
+			g, err := s.acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.release(g)
+		}(i)
+	}
+	started.Wait()
+	s.release(first)
+	finished.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerCancelWhileQueued(t *testing.T) {
+	s := newScheduler(1)
+	g, _ := s.acquire(context.Background(), 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(ctx, 1)
+		errCh <- err
+	}()
+	for {
+		if q, _ := s.snapshot(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("acquire returned without error despite cancellation")
+	}
+	if q, _ := s.snapshot(); q != 0 {
+		t.Fatalf("abandoned waiter still queued (depth %d)", q)
+	}
+	s.release(g)
+	// The pool must be whole again.
+	g2, err := s.acquire(context.Background(), 1)
+	if err != nil || g2 != 1 {
+		t.Fatalf("pool corrupted after cancellation: grant %d err %v", g2, err)
+	}
+	s.release(g2)
+}
+
+func TestSchedulerNeverOversubscribes(t *testing.T) {
+	const capacity = 3
+	s := newScheduler(capacity)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			g, err := s.acquire(context.Background(), want)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			cur := inUse.Add(int64(g))
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-int64(g))
+			s.release(g)
+		}(1 + i%capacity)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak tokens in use %d exceeds capacity %d", p, capacity)
+	}
+}

@@ -1,0 +1,29 @@
+package tables
+
+import "parserhawk/internal/hw"
+
+// Profiles returns every named device profile the repository knows how to
+// compile for: the full devices (internal/hw) and the scaled evaluation
+// equivalents this package defines. The compile service's /v1/profiles
+// endpoint and the CLI -target flag are both fed from this list, so a
+// profile name accepted by one is accepted by the other — a precondition
+// of the service-vs-CLI identity gate.
+func Profiles() []hw.Profile {
+	return []hw.Profile{
+		hw.Tofino(),
+		hw.IPU(),
+		TofinoScaled(),
+		IPUScaled(),
+	}
+}
+
+// ProfileByName resolves a device profile by its Name field, covering
+// both the full devices and the scaled evaluation profiles.
+func ProfileByName(name string) (hw.Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return hw.ByName(name)
+}
