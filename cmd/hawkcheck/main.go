@@ -1,0 +1,184 @@
+// Command hawkcheck validates ParserHawk compilation certificates
+// independently of the compiler that produced them.
+//
+// Usage:
+//
+//	hawkcheck parser.p4 parser.cert.json   # check one certificate
+//	hawkcheck -table3                      # compile & certify the whole
+//	                                       # Table 3 suite, then reject
+//	                                       # seeded mutations (the CI gate)
+//
+// The two-argument form re-derives everything the certificate claims from
+// the source specification: the spec hash, the effective (post-lint,
+// post-unroll) spec, the bisimulation witness's coverage of the product
+// automaton, and — when a proof bundle is present — the DRAT refutation
+// of the hardest UNSAT solver query. None of these checks call into the
+// synthesizer or its CEGIS verifier; the checker lives in internal/cert
+// and trusts only the two IRs.
+//
+// Exit status: 0 when the certificate is valid, 1 when any check fails,
+// 2 on usage or I/O errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parserhawk"
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/cert"
+	"parserhawk/internal/core"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/tables"
+)
+
+func main() {
+	var (
+		table3  = flag.Bool("table3", false, "compile every Table 3 benchmark on both scaled targets, check each certificate, and reject seeded mutations")
+		timeout = flag.Duration("timeout", 2*time.Minute, "-table3: per-compilation time budget")
+		seed    = flag.Int64("seed", 7, "-table3: seed for the mutation generator")
+		verbose = flag.Bool("v", false, "print every check, not just failures")
+	)
+	flag.Parse()
+
+	if *table3 {
+		os.Exit(runTable3(*timeout, *seed, *verbose))
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hawkcheck [flags] parser.p4 cert.json\n       hawkcheck -table3")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := parserhawk.ParseSpecFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := cert.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	profile, ok := tables.ProfileByName(c.Profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hawkcheck: certificate targets unknown profile %q\n", c.Profile)
+		os.Exit(2)
+	}
+	if err := checkAgainstSpec(spec, profile, c); err != nil {
+		fmt.Fprintf(os.Stderr, "hawkcheck: FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	what := "witness"
+	if c.Proof != nil {
+		what = "witness + DRAT proof"
+	}
+	fmt.Printf("hawkcheck: OK: %s (%s on %s, %d witness pairs)\n", what, c.Spec, c.Profile, len(c.Witness.Pairs))
+}
+
+// checkAgainstSpec runs the full validation of one certificate against
+// the source specification it claims to compile.
+func checkAgainstSpec(spec *parserhawk.Spec, profile hw.Profile, c *cert.Certificate) error {
+	if c.Spec != spec.Name {
+		return fmt.Errorf("certificate is for spec %q, input is %q", c.Spec, spec.Name)
+	}
+	if got := core.SpecSHA(spec); got != c.SpecSHA {
+		return fmt.Errorf("spec hash mismatch: certificate %s, input hashes to %s", c.SpecSHA, got)
+	}
+	// Recompute the effective spec from the input alone and demand the
+	// certificate's copy is identical — a witness for some other spec
+	// (stale cache, tampered file) fails here before any traversal.
+	opts := core.DefaultOptions()
+	opts.MaxIterations = c.Unroll
+	eff, err := core.EffectiveSpec(spec, profile, opts)
+	if err != nil {
+		return fmt.Errorf("recomputing effective spec: %w", err)
+	}
+	want, err := cert.EncodeSpecJSON(eff)
+	if err != nil {
+		return err
+	}
+	certEff, err := cert.DecodeSpecJSON(c.Effective)
+	if err != nil {
+		return fmt.Errorf("certificate effective spec: %w", err)
+	}
+	got, err := cert.EncodeSpecJSON(certEff)
+	if err != nil {
+		return err
+	}
+	if string(got) != string(want) {
+		return errors.New("certificate's effective spec differs from the one recomputed from the input")
+	}
+	return c.SelfCheck()
+}
+
+// runTable3 is the certify CI job: every Table 3 benchmark × both scaled
+// targets is compiled with certificates and proof logging on, every
+// certificate must check, and every seeded mutation of it must fail.
+func runTable3(timeout time.Duration, seed int64, verbose bool) int {
+	profiles := []hw.Profile{tables.TofinoScaled(), tables.IPUScaled()}
+	checked, withProof, failures := 0, 0, 0
+	fail := func(format string, a ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "FAIL "+format+"\n", a...)
+	}
+	for _, b := range benchdata.All() {
+		for _, profile := range profiles {
+			name := fmt.Sprintf("%s on %s", b.Name(), profile.Name)
+			opts := parserhawk.DefaultOptions()
+			opts.Timeout = timeout
+			opts.MaxIterations = b.MaxIterations
+			opts.EmitCertificate = true
+			opts.LogProofs = true
+			res, err := parserhawk.Compile(b.Spec, profile, opts)
+			if err != nil {
+				fail("%s: compile: %v", name, err)
+				continue
+			}
+			c := res.Certificate
+			if c == nil {
+				fail("%s: no certificate emitted", name)
+				continue
+			}
+			if err := checkAgainstSpec(b.Spec, profile, c); err != nil {
+				fail("%s: %v", name, err)
+				continue
+			}
+			checked++
+			if c.Proof != nil {
+				withProof++
+			}
+			muts, err := cert.FailingMutations(c, seed)
+			if err != nil {
+				fail("%s: mutations: %v", name, err)
+				continue
+			}
+			rejected := 0
+			for _, m := range muts {
+				if m.Cert.SelfCheck() == nil {
+					fail("%s: mutation %s passed the checker", name, m.Name)
+				} else {
+					rejected++
+				}
+			}
+			if verbose {
+				fmt.Printf("ok   %s: %d witness pairs, proof=%v, %d/%d mutations rejected\n",
+					name, len(c.Witness.Pairs), c.Proof != nil, rejected, len(muts))
+			}
+		}
+	}
+	fmt.Printf("hawkcheck -table3: %d certificates checked (%d with DRAT proofs), %d failures\n",
+		checked, withProof, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

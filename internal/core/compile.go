@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"parserhawk/internal/bitstream"
 	"parserhawk/internal/bv"
+	"parserhawk/internal/cert"
 	"parserhawk/internal/hw"
 	"parserhawk/internal/lint"
 	"parserhawk/internal/pir"
@@ -23,6 +25,12 @@ type Result struct {
 	Program   *tcam.Program
 	Resources tcam.Resources
 	Stats     Stats
+	// Certificate is the proof-carrying artifact built when
+	// Options.EmitCertificate is set: the effective spec, the program,
+	// a bisimulation witness, and optionally a DRAT proof bundle, all
+	// checkable by internal/cert (and the hawkcheck CLI) without
+	// trusting this package.
+	Certificate *cert.Certificate
 }
 
 // ErrTimeout reports that the compilation budget expired before any
@@ -85,30 +93,14 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		defer cancel()
 	}
 
-	// SpecLint pre-pass (Figure 8's analysis stage made checkable): reject
-	// error-severity specs before any solving starts, then prune what the
-	// analyzer proved dead — unreachable states and SAT-certified shadowed
-	// rules — shrinking the symbolic FSM every CEGIS query must match.
-	// Pruning is sound: the pruned spec is observationally equivalent to the
-	// original on every input (see lint.Prune), so the verifier's contract
-	// is unchanged.
-	var lintStats LintStats
-	if !opts.SkipLint {
-		diags := lint.Run(spec, &profile)
-		if lint.HasErrors(diags) {
-			return nil, &LintError{Spec: spec.Name, Diags: diags}
-		}
-		errs, warns, infos := lint.Counts(diags)
-		lintStats = LintStats{Errors: errs, Warnings: warns, Infos: infos}
-		// Prune to a fixpoint: removing a shadowed rule can orphan the state
-		// it targeted, which the next round then removes.
-		pruned, pst := lint.Prune(spec, diags)
-		lintStats.StatesBefore, lintStats.RulesBefore = pst.StatesBefore, pst.RulesBefore
-		for pruned != spec {
-			spec = pruned
-			pruned, pst = lint.Prune(spec, lint.Run(spec, &profile))
-		}
-		lintStats.StatesAfter, lintStats.RulesAfter = pst.StatesAfter, pst.RulesAfter
+	// SpecLint pre-pass and loop-bound defaulting, shared with
+	// EffectiveSpec so an independent checker reproduces the exact spec
+	// the synthesizer targeted. orig is kept for the certificate: the
+	// input spec's identity (SpecSHA) must be computed before pruning.
+	orig := spec
+	spec, lintStats, err := lintFixpoint(spec, profile, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Loopy specs on pipelined devices are bounded by unrolling; the
@@ -116,6 +108,15 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 	// device holds" counts as rejection on both sides.
 	if spec.HasLoop() && !profile.AllowLoops() && opts.MaxIterations == 0 {
 		opts.MaxIterations = 4
+	}
+
+	// The hardest proof-bearing query is kept for the certificate; the
+	// tee forwards every dump to the caller's sink unchanged, so -dimacs
+	// and the certificate always describe the same solver call.
+	var hardestProof *proofTee
+	if opts.EmitCertificate && opts.LogProofs {
+		hardestProof = &proofTee{next: opts.QuerySink}
+		opts.QuerySink = hardestProof.consider
 	}
 
 	// Opt2: synthesize against the bit-width-minimized spec.
@@ -244,8 +245,99 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 	best.Stats.Solver = stats.Solver
 	best.Stats.Portfolio = stats.Portfolio
 	best.Stats.Lint = lintStats
+	if opts.EmitCertificate {
+		unrollUsed := 0
+		if effOrig != spec {
+			unrollUsed = unroll
+			if unrollUsed <= 0 {
+				unrollUsed = 4
+			}
+		}
+		var proofDump *QueryDump
+		if hardestProof != nil {
+			proofDump = hardestProof.take()
+		}
+		best.Certificate = buildCertificate(orig, effOrig, profile, unrollUsed, best.Program, proofDump)
+	}
 	best.Stats.Elapsed = time.Since(start)
 	return best, nil
+}
+
+// lintFixpoint is the SpecLint pre-pass (Figure 8's analysis stage made
+// checkable): reject error-severity specs before any solving starts,
+// then prune what the analyzer proved dead — unreachable states and
+// SAT-certified shadowed rules — to a fixpoint (removing a shadowed
+// rule can orphan the state it targeted, which the next round then
+// removes). Pruning is sound: the pruned spec is observationally
+// equivalent to the original on every input (see lint.Prune), so the
+// verifier's contract is unchanged. Shared by CompileContext and
+// EffectiveSpec so certificates and checkers agree on the spec the
+// synthesizer actually targeted.
+func lintFixpoint(spec *pir.Spec, profile hw.Profile, opts Options) (*pir.Spec, LintStats, error) {
+	var lintStats LintStats
+	if opts.SkipLint {
+		return spec, lintStats, nil
+	}
+	diags := lint.Run(spec, &profile)
+	if lint.HasErrors(diags) {
+		return nil, lintStats, &LintError{Spec: spec.Name, Diags: diags}
+	}
+	errs, warns, infos := lint.Counts(diags)
+	lintStats = LintStats{Errors: errs, Warnings: warns, Infos: infos}
+	pruned, pst := lint.Prune(spec, diags)
+	lintStats.StatesBefore, lintStats.RulesBefore = pst.StatesBefore, pst.RulesBefore
+	for pruned != spec {
+		spec = pruned
+		pruned, pst = lint.Prune(spec, lint.Run(spec, &profile))
+	}
+	lintStats.StatesAfter, lintStats.RulesAfter = pst.StatesAfter, pst.RulesAfter
+	return spec, lintStats, nil
+}
+
+// EffectiveSpec reproduces the spec-transformation pipeline a compile
+// applies before synthesis — the lint/prune fixpoint, the default loop
+// bound, and unrolling for loopy specs on loop-free targets — without
+// running any synthesis. hawkcheck uses it to recompute, from the input
+// spec alone, the effective spec a certificate's witness must relate to
+// the program, refusing certificates built against anything else.
+func EffectiveSpec(spec *pir.Spec, profile hw.Profile, opts Options) (*pir.Spec, error) {
+	pruned, _, err := lintFixpoint(spec, profile, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pruned.HasLoop() && !profile.AllowLoops() && opts.MaxIterations == 0 {
+		opts.MaxIterations = 4
+	}
+	_, eff, err := buildSkeletons(pruned, profile, opts, opts.MaxIterations)
+	if err != nil {
+		return nil, err
+	}
+	return eff, nil
+}
+
+// proofTee keeps the hardest proof-bearing query dump for the
+// certificate while forwarding every dump to the caller's own sink.
+type proofTee struct {
+	mu   sync.Mutex
+	next func(QueryDump)
+	best *QueryDump
+}
+
+func (t *proofTee) consider(q QueryDump) {
+	t.mu.Lock()
+	if len(q.Proof) > 0 && (t.best == nil || q.Conflicts > t.best.Conflicts) {
+		t.best = &q
+	}
+	t.mu.Unlock()
+	if t.next != nil {
+		t.next(q)
+	}
+}
+
+func (t *proofTee) take() *QueryDump {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.best
 }
 
 // effectiveWorkers resolves Options.Workers: an explicit value wins, zero
@@ -536,7 +628,16 @@ func (eng *skeletonEngine) refuteStatus(ctx context.Context, capN int, seed int6
 	sy.sess.SetEpoch(sy.fed)
 	sy.s.SAT.Diversify(seed)
 	if ex != nil {
-		sy.sess.AttachExchange(ex, producerID, sy.fed)
+		importEpoch := sy.fed
+		if opts.LogProofs {
+			// Imported pool clauses are implied by the shared formula but
+			// need not be RUP-derivable from this probe's own clause
+			// sequence, so a strict DRAT check of the kill proof would
+			// reject them. Attach export-only: the probe still feeds the
+			// pool, and its refutation stays self-contained.
+			importEpoch = -1
+		}
+		sy.sess.AttachExchange(ex, producerID, importEpoch)
 	}
 	stop := func() bool {
 		select {
@@ -547,6 +648,16 @@ func (eng *skeletonEngine) refuteStatus(ctx context.Context, capN int, seed int6
 		}
 	}
 	st := sy.solveAt(capN, stop)
+	if st == sat.Unsat && opts.LogProofs {
+		// A refuter kill cancels the authoritative ladder, so it is held to
+		// a higher standard than its own trusted verdict: the probe must
+		// produce a strict DRAT refutation of the exact query it solved, or
+		// the kill is demoted to Unknown and the ladder keeps running.
+		dimacs, err := sy.sess.DumpLastQuery()
+		if err != nil || cert.CheckDRAT(dimacs, sy.sess.DumpLastProof(), cert.Strict) != nil {
+			return sat.Unknown, solverSnapshot(sy.s)
+		}
+	}
 	return st, solverSnapshot(sy.s)
 }
 
@@ -764,6 +875,12 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 		if err != nil {
 			return
 		}
+		// An UNSAT solve's DRAT log refutes exactly the CNF dumped above;
+		// SAT solves carry no proof (the model is its own witness).
+		var proof []byte
+		if status == sat.Unsat {
+			proof = sy.sess.DumpLastProof()
+		}
 		dump = &QueryDump{
 			Spec:      eng.effSynth.Name,
 			Skeleton:  eng.synthSk.Name,
@@ -772,6 +889,7 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 			Status:    status.String(),
 			Conflicts: delta.Conflicts,
 			DIMACS:    data,
+			Proof:     proof,
 		}
 	}
 	fin := func(err error) *rungResult {

@@ -71,8 +71,11 @@ const (
 // otherwise).
 func newSynthesizer(spec *pir.Spec, sk *skeleton, profile hw.Profile, opts Options, budget int) *synthesizer {
 	sess := solve.New()
-	if opts.QuerySink != nil {
+	if opts.QuerySink != nil || opts.LogProofs {
 		sess = solve.NewRecording()
+	}
+	if opts.LogProofs {
+		sess.LogProofs()
 	}
 	sy := &synthesizer{
 		spec:    spec,

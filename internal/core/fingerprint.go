@@ -23,6 +23,12 @@ import "fmt"
 //   - Timeout: a deadline decides whether a result arrives, never which
 //     result arrives. Timed-out compilations must not be cached at all.
 //   - QuerySink / Seed-independent instrumentation: observation only.
+//   - EmitCertificate / LogProofs: certificates and DRAT logs describe
+//     the compilation without steering it — proof logging appends to a
+//     side buffer and never changes a solver decision, and the witness
+//     is built from the finished program. The compile service relies on
+//     this: it forces EmitCertificate on regardless of what the client's
+//     fingerprint says.
 //
 // Seed stays in the key: it drives CEGIS test-case generation, and while
 // any seed yields a correct program, different seeds may reach different

@@ -106,6 +106,27 @@ type Options struct {
 	// costs one clause copy per AddClause; leave nil otherwise.
 	QuerySink func(QueryDump)
 
+	// EmitCertificate attaches a checkable certificate to the Result: the
+	// effective spec, the compiled program, and a bisimulation witness the
+	// independent checker in internal/cert validates statically (plus a
+	// DRAT proof bundle when LogProofs is also set). Witness construction
+	// runs once per compile, after the portfolio picks a winner; a failure
+	// to construct one is recorded in the certificate, never an error.
+	// Off by default. Outcome-invariant: the same program is produced
+	// either way, so the flag is excluded from Fingerprint.
+	EmitCertificate bool
+
+	// LogProofs enables DRAT proof logging in every solver session this
+	// compile creates. Each budget rung's hardest UNSAT query then carries
+	// a replayable refutation (QueryDump.Proof), and portfolio refuter
+	// kills are honored only after their proof passes the forward DRAT
+	// check — certified rather than trusted. Proof-logging probes attach
+	// to the clause exchange export-only so their refutations stay
+	// self-contained. Off by default: logging copies every learnt clause.
+	// Outcome-invariant and excluded from Fingerprint (a refuter kill it
+	// suppresses only defers the same UNSAT verdict to the ladder).
+	LogProofs bool
+
 	// Seed makes test-case generation deterministic.
 	Seed int64
 }
@@ -330,6 +351,9 @@ type QueryDump struct {
 	// hardness measure used to pick which query to keep.
 	Conflicts int64
 	DIMACS    []byte
+	// Proof is the DRAT log for this solve when Options.LogProofs is set
+	// and the query was UNSAT: a refutation of exactly the CNF in DIMACS.
+	Proof []byte
 }
 
 // IterationStats records one CEGIS iteration of one budget rung: the

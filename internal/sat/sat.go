@@ -200,6 +200,11 @@ type Solver struct {
 	importHitsN int64
 	exportedN   int64
 
+	// proof, when non-nil (StartProof), logs every clause-database
+	// change in DRAT format; see proof.go. Off by default: the hot path
+	// must stay allocation-free.
+	proof *proofLog
+
 	err        error
 	unsatForce bool // a top-level conflict made the instance permanently UNSAT
 }
@@ -848,6 +853,9 @@ func (s *Solver) record(learned []Lit, lbd int) {
 			s.glueBuf = append(s.glueBuf, append([]Lit(nil), learned...))
 		}
 	}
+	if s.proof != nil {
+		s.proof.add(learned)
+	}
 	switch len(learned) {
 	case 1:
 		s.enqueue(learned[0], reasonNone)
@@ -938,6 +946,13 @@ func (s *Solver) importClause(lits []Lit) bool {
 		prev = l
 	}
 	s.importedN++
+	if s.proof != nil {
+		// Log the original literals: level-0 simplification only drops
+		// falsified or duplicate literals, and the checker attributes the
+		// clause to the exchange via the comment.
+		s.proof.comment("import")
+		s.proof.add(lits)
+	}
 	switch len(out) {
 	case 0:
 		return false
@@ -1006,6 +1021,9 @@ func (s *Solver) reduceDB() {
 	half := len(removable) / 2
 	for i, r := range removable {
 		if i < half {
+			if s.proof != nil {
+				s.proof.del(s.claLits(r.c))
+			}
 			s.arena[r.c] |= hdrDeleted
 		} else {
 			keep = append(keep, r.c)

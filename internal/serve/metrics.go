@@ -91,6 +91,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	m.family("hawkd_deadline_expired_total", "counter", "Requests that hit their deadline before a result arrived (served verdict=unknown).")
 	m.sample("hawkd_deadline_expired_total", s.deadlineExpired.value())
 
+	m.family("parserhawk_cert_checked_total", "counter", "Compilation certificates validated by the independent witness checker.")
+	m.sample("parserhawk_cert_checked_total", s.certChecked.value())
+	m.family("parserhawk_cert_failed_total", "counter", "Certificates the checker rejected; such results are served but never cached.")
+	m.sample("parserhawk_cert_failed_total", s.certFailed.value())
+
 	hits, misses, evictions, used, entries := s.cache.snapshot()
 	m.family("hawkd_cache_hits_total", "counter", "Compile responses served from the content-addressed cache.")
 	m.sample("hawkd_cache_hits_total", hits)

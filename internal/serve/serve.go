@@ -157,6 +157,12 @@ type CompileResponse struct {
 	Stages      int             `json:"stages"`
 	MaxKeyWidth int             `json:"max_key_width,omitempty"`
 	Stats       *core.Stats     `json:"stats,omitempty"`
+	// Certificate is the compile's proof-carrying artifact (cert.Certificate
+	// JSON): witness-checked server-side before caching, and re-checkable by
+	// the client with hawkcheck. CertificateError is set instead when the
+	// server-side check failed; such responses are never cached.
+	Certificate      json.RawMessage `json:"certificate,omitempty"`
+	CertificateError string          `json:"certificate_error,omitempty"`
 	// Cache reports how this response was produced: hit, miss, or
 	// coalesced. Cached responses carry the original compilation's Stats.
 	Cache     string  `json:"cache"`
@@ -203,6 +209,8 @@ type Server struct {
 	compiles        counter
 	coalesced       counter
 	deadlineExpired counter
+	certChecked     counter
+	certFailed      counter
 	inflight        atomic.Int64
 }
 
@@ -308,11 +316,18 @@ func (s *Server) waitTimeout(r *http.Request, req *CompileRequest) (time.Duratio
 // scheduler's ask).
 func (s *Server) buildOptions(ro *CompileOptions) (core.Options, int) {
 	opts := core.DefaultOptions()
+	// The service always asks for a certificate: every successful compile
+	// is witness-checked before it may enter the cache, and the artifact
+	// rides along in the response for clients that want to re-check it.
+	// EmitCertificate is outcome-invariant, so this does not perturb the
+	// options fingerprint or the service-vs-CLI identity gate.
+	opts.EmitCertificate = true
 	if ro == nil {
 		return opts, s.cfg.Workers
 	}
 	if ro.Naive {
 		opts = core.NaiveOptions()
+		opts.EmitCertificate = true
 	}
 	if ro.MaxIterations > 0 {
 		opts.MaxIterations = ro.MaxIterations
@@ -474,6 +489,22 @@ func (s *Server) compileOutcome(ctx context.Context, spec *pir.Spec, profile hw.
 			out.resp.ProgramJSON = data
 		}
 		out.cacheable = true
+		// Certificate gate: an ok verdict whose certificate fails the
+		// independent checker is still served (the CEGIS verifier vouched
+		// for it) but never cached — a cache must not launder an
+		// unverifiable result into many responses.
+		s.certChecked.inc()
+		if res.Certificate == nil {
+			s.certFailed.inc()
+			out.cacheable = false
+			out.resp.CertificateError = "compile produced no certificate"
+		} else if serr := res.Certificate.SelfCheck(); serr != nil {
+			s.certFailed.inc()
+			out.cacheable = false
+			out.resp.CertificateError = serr.Error()
+		} else if data, jerr := res.Certificate.Encode(); jerr == nil {
+			out.resp.Certificate = data
+		}
 	case errors.Is(cerr, core.ErrTimeout), ctx.Err() != nil:
 		out.resp = CompileResponse{Verdict: VerdictUnknown, Reason: "compilation interrupted: " + cerr.Error()}
 	case errors.Is(cerr, core.ErrNoSolution):
@@ -498,7 +529,7 @@ func (s *Server) compileOutcome(ctx context.Context, spec *pir.Spec, profile hw.
 // structs themselves.
 func outcomeSize(out *outcome) int64 {
 	const overhead = 1024
-	n := int64(len(out.resp.Program) + len(out.resp.ProgramJSON) + len(out.resp.Reason))
+	n := int64(len(out.resp.Program) + len(out.resp.ProgramJSON) + len(out.resp.Reason) + len(out.resp.Certificate))
 	if out.resp.Stats != nil {
 		if data, err := json.Marshal(out.resp.Stats); err == nil {
 			n += int64(len(data))

@@ -13,8 +13,10 @@ import (
 	"testing"
 	"time"
 
+	"parserhawk/internal/cert"
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/p4"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/tables"
 	"parserhawk/internal/tcam"
@@ -158,10 +160,10 @@ func TestCompileOKThenCacheHit(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	// Budget fits either compiled outcome alone (the larger is ~6.5 KiB,
-	// dominated by its stats trace) but not both, so the second distinct
-	// spec must evict the first.
-	const budget = 8 << 10
+	// Budget fits either compiled outcome alone (the larger is ~8.5 KiB,
+	// dominated by its stats trace and certificate) but not both, so the
+	// second distinct spec must evict the first.
+	const budget = 10 << 10
 	s, ts := newTestServer(t, func(c *Config) { c.CacheBytes = budget })
 	url := ts.URL + "/v1/compile"
 
@@ -444,5 +446,101 @@ func TestNoSolutionIsCached(t *testing.T) {
 	}
 	if got := s.compiles.value(); got != 1 {
 		t.Fatalf("compiles %d, want 1", got)
+	}
+}
+
+// TestFailedCertificateIsNotCached proves the certificate gate: a compile
+// whose certificate fails the independent checker is still served (the
+// synthesizer's own verifier vouched for the program) but must not enter
+// the cache, and the failure shows up in the parserhawk_cert_* metrics.
+func TestFailedCertificateIsNotCached(t *testing.T) {
+	spec, err := p4.ParseSpec(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.EmitCertificate = true
+	good, err := core.CompileContext(context.Background(), spec, tables.TofinoScaled(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := cert.FailingMutations(good.Certificate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Certificate = muts[0].Cert
+
+	s, ts := newTestServer(t, nil)
+	s.compileFn = func(ctx context.Context, sp *pir.Spec, profile hw.Profile, o core.Options) (*core.Result, error) {
+		return &bad, nil
+	}
+	url := ts.URL + "/v1/compile"
+
+	code, resp, raw := postCompile(t, url, CompileRequest{Source: specA})
+	if code != http.StatusOK || resp.Verdict != VerdictOK {
+		t.Fatalf("compile failed: %d %s", code, raw)
+	}
+	if resp.CertificateError == "" {
+		t.Fatal("corrupted certificate passed the server-side check")
+	}
+	if len(resp.Certificate) != 0 {
+		t.Fatal("failing certificate must not be attached to the response")
+	}
+	// Second identical request: the outcome must NOT replay from cache.
+	_, resp2, _ := postCompile(t, url, CompileRequest{Source: specA})
+	if resp2.Cache == CacheHit {
+		t.Fatal("uncertified result was served from cache")
+	}
+	if got := s.certChecked.value(); got != 2 {
+		t.Fatalf("cert_checked %d, want 2", got)
+	}
+	if got := s.certFailed.value(); got != 2 {
+		t.Fatalf("cert_failed %d, want 2", got)
+	}
+
+	metrics, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	for _, want := range []string{
+		"parserhawk_cert_checked_total 2",
+		"parserhawk_cert_failed_total 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/stats missing %q", want)
+		}
+	}
+}
+
+// TestCertificateAttachedAndCacheable is the positive half: a passing
+// certificate rides along in the response, the outcome caches, and the
+// cached replay carries the same certificate bytes.
+func TestCertificateAttachedAndCacheable(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/compile"
+	code, resp, raw := postCompile(t, url, CompileRequest{Source: specA})
+	if code != http.StatusOK || resp.Verdict != VerdictOK {
+		t.Fatalf("compile failed: %d %s", code, raw)
+	}
+	if len(resp.Certificate) == 0 || resp.CertificateError != "" {
+		t.Fatalf("ok response lacks a certificate (err=%q)", resp.CertificateError)
+	}
+	c, err := cert.Decode(resp.Certificate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SelfCheck(); err != nil {
+		t.Fatalf("served certificate does not check: %v", err)
+	}
+	_, resp2, _ := postCompile(t, url, CompileRequest{Source: specA})
+	if resp2.Cache != CacheHit {
+		t.Fatalf("repeat disposition %q, want hit", resp2.Cache)
+	}
+	if string(resp2.Certificate) != string(resp.Certificate) {
+		t.Fatal("cached replay served different certificate bytes")
 	}
 }

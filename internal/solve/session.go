@@ -218,6 +218,19 @@ func (se *Session) Reuse() ReuseStats {
 	}
 }
 
+// LogProofs enables DRAT proof logging on the session's solver. Call
+// before the first Solve so the log covers every learnt clause.
+func (se *Session) LogProofs() { se.s.SAT.StartProof() }
+
+// DumpLastProof exports the DRAT log accumulated so far. When the most
+// recent Solve call returned Unsat the terminating empty clause is
+// appended, making the log a complete refutation of the CNF that
+// DumpLastQuery exports for the same call. Returns nil when proof
+// logging was never enabled.
+func (se *Session) DumpLastProof() []byte {
+	return se.s.SAT.ProofBytes(se.LastCall().Status == sat.Unsat)
+}
+
 // DumpLastQuery exports the most recent Solve call's instance as DIMACS
 // CNF — every clause encoded so far plus that call's assumptions as unit
 // clauses — so the exact query can be replayed by an external solver. The

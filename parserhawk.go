@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"parserhawk/internal/bitstream"
+	"parserhawk/internal/cert"
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
 	"parserhawk/internal/lint"
@@ -70,6 +71,14 @@ type IterationStats = core.IterationStats
 // QueryDump is one captured SAT query (DIMACS CNF plus metadata),
 // delivered to Options.QuerySink when DIMACS capture is enabled.
 type QueryDump = core.QueryDump
+
+// Certificate is the proof-carrying artifact a compile emits when
+// Options.EmitCertificate is set: the effective spec, the compiled
+// program, a bisimulation witness relating the two, and (with
+// Options.LogProofs) a DRAT proof of the hardest UNSAT solver query.
+// It is validated by the independent checker in internal/cert and the
+// hawkcheck command — see Certificate.SelfCheck.
+type Certificate = cert.Certificate
 
 // LintStats summarizes a compilation's SpecLint pre-pass: diagnostic
 // tallies and the pre/post-prune specification size.
