@@ -21,7 +21,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +29,6 @@ import (
 	"parserhawk"
 	"parserhawk/internal/benchdata"
 	"parserhawk/internal/cert"
-	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
 	"parserhawk/internal/tables"
 )
@@ -85,46 +83,21 @@ func main() {
 }
 
 // checkAgainstSpec runs the full validation of one certificate against
-// the source specification it claims to compile.
+// the source specification it claims to compile: spec identity, arch
+// cross-check, effective-spec recomputation, witness/proof self-check, and
+// a device re-validation of the program under the profile's own semantics
+// (the streaming window/depth rules for fpga targets). The logic lives in
+// tables.CheckCertificate so the multi-target harness applies the same
+// standard.
 func checkAgainstSpec(spec *parserhawk.Spec, profile hw.Profile, c *cert.Certificate) error {
-	if c.Spec != spec.Name {
-		return fmt.Errorf("certificate is for spec %q, input is %q", c.Spec, spec.Name)
-	}
-	if got := core.SpecSHA(spec); got != c.SpecSHA {
-		return fmt.Errorf("spec hash mismatch: certificate %s, input hashes to %s", c.SpecSHA, got)
-	}
-	// Recompute the effective spec from the input alone and demand the
-	// certificate's copy is identical — a witness for some other spec
-	// (stale cache, tampered file) fails here before any traversal.
-	opts := core.DefaultOptions()
-	opts.MaxIterations = c.Unroll
-	eff, err := core.EffectiveSpec(spec, profile, opts)
-	if err != nil {
-		return fmt.Errorf("recomputing effective spec: %w", err)
-	}
-	want, err := cert.EncodeSpecJSON(eff)
-	if err != nil {
-		return err
-	}
-	certEff, err := cert.DecodeSpecJSON(c.Effective)
-	if err != nil {
-		return fmt.Errorf("certificate effective spec: %w", err)
-	}
-	got, err := cert.EncodeSpecJSON(certEff)
-	if err != nil {
-		return err
-	}
-	if string(got) != string(want) {
-		return errors.New("certificate's effective spec differs from the one recomputed from the input")
-	}
-	return c.SelfCheck()
+	return tables.CheckCertificate(spec, profile, c)
 }
 
-// runTable3 is the certify CI job: every Table 3 benchmark × both scaled
-// targets is compiled with certificates and proof logging on, every
+// runTable3 is the certify CI job: every Table 3 benchmark × all three
+// scaled targets is compiled with certificates and proof logging on, every
 // certificate must check, and every seeded mutation of it must fail.
 func runTable3(timeout time.Duration, seed int64, verbose bool) int {
-	profiles := []hw.Profile{tables.TofinoScaled(), tables.IPUScaled()}
+	profiles := []hw.Profile{tables.TofinoScaled(), tables.IPUScaled(), tables.FPGAScaled()}
 	checked, withProof, failures := 0, 0, 0
 	fail := func(format string, a ...any) {
 		failures++

@@ -27,6 +27,14 @@
 // result came from the cache, a coalesced in-flight compile, or a fresh
 // compilation. A request that exceeds its deadline receives verdict
 // "unknown" — never a wrong verdict.
+//
+// A request may instead carry "targets": ["tofino", "ipu", "fpga"] —
+// mutually exclusive with "profile" — to fan one spec across several
+// devices in a single round trip. The response then has verdict "multi"
+// and a targets array of ordinary per-target responses, each stamped
+// with its profile name; the per-target compiles share the cache, the
+// coalescing index, and the worker pool, and /stats breaks verdicts out
+// per profile (hawkd_compile_profile_verdicts_total).
 package main
 
 import (

@@ -6,6 +6,7 @@
 //	parserhawk -target tofino  parser.p4
 //	parserhawk -target ipu     parser.p4
 //	parserhawk -target custom -key 4 -lookahead 8 -extract 16 parser.p4
+//	parserhawk -targets tofino,ipu,fpga parser.p4 # one spec, every target
 //	parserhawk -naive -timeout 30s parser.p4      # the paper's Orig mode
 //	parserhawk -lint parser.p4                    # static analysis only
 //	parserhawk -lint -json parser.p4              # diagnostics as JSON
@@ -14,6 +15,14 @@
 // printed to stdout. With -lint no synthesis runs: the SpecLint
 // diagnostics (codes PH001–PH007) are printed instead, and the exit
 // status is 1 exactly when an error-severity diagnostic is present.
+//
+// -targets fans the one spec across several device profiles concurrently
+// (sharing the -workers portfolio budget) and prints a per-target
+// comparison table; every successful compile is re-certified with the
+// independent witness checker before its row says so. With -expect FILE
+// (lines of "target verdict", # comments allowed) the exit status is 1
+// when any target's verdict deviates from the file or an expected-ok
+// target fails certification — the CI smoke gate.
 package main
 
 import (
@@ -29,12 +38,15 @@ import (
 	"time"
 
 	"parserhawk"
+	"parserhawk/internal/hw"
 	"parserhawk/internal/tables"
 )
 
 func main() {
 	var (
-		target     = flag.String("target", "tofino", "target device: tofino, ipu, tofino-scaled, ipu-scaled, or custom")
+		target     = flag.String("target", "tofino", "target device: tofino, ipu, fpga, their -scaled variants, or custom")
+		targets    = flag.String("targets", "", "comma-separated target list for a multi-target compile (e.g. tofino,ipu,fpga); prints a per-target comparison table")
+		expectFile = flag.String("expect", "", "-targets: expectations file (lines of \"target verdict\"); exit 1 on any deviation or certification failure")
 		key        = flag.Int("key", 8, "custom target: transition-key width limit (bits)")
 		lookahead  = flag.Int("lookahead", 16, "custom target: lookahead window (bits)")
 		extract    = flag.Int("extract", 64, "custom target: per-entry extraction limit (bits)")
@@ -137,6 +149,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *targets != "" {
+		os.Exit(runTargets(spec, *targets, *expectFile, opts))
+	}
+
 	if *lintOnly {
 		runLint(spec, profile, *emitJSON)
 		return
@@ -237,6 +253,83 @@ func main() {
 		}
 		fmt.Printf("verification:      %s\n", rep)
 	}
+}
+
+// runTargets is the -targets mode: resolve every requested profile
+// through the shared registry, fan the spec across them, print the
+// comparison table, and — when an expectations file is given — gate on
+// it. Unknown names are a usage error that lists the registry, so typos
+// fail loudly instead of silently compiling a subset.
+func runTargets(spec *parserhawk.Spec, list, expectPath string, opts parserhawk.Options) int {
+	var profiles []parserhawk.Profile
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := tables.ProfileByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parserhawk: -targets: unknown target %q (known: %s)\n",
+				name, strings.Join(hw.Names(), ", "))
+			return 2
+		}
+		profiles = append(profiles, p)
+	}
+	if len(profiles) == 0 {
+		fmt.Fprintln(os.Stderr, "parserhawk: -targets: no targets given")
+		return 2
+	}
+	runs := tables.CompileTargets(spec, profiles, opts)
+	fmt.Print(tables.FormatTargets(runs))
+	if expectPath == "" {
+		return 0
+	}
+	want, err := readExpectations(expectPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parserhawk: -expect: %v\n", err)
+		return 2
+	}
+	failures := 0
+	for _, r := range runs {
+		exp, ok := want[r.Target]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "parserhawk: -expect: no expectation for target %q\n", r.Target)
+			failures++
+		case r.Verdict != exp:
+			fmt.Fprintf(os.Stderr, "parserhawk: -expect: %s: verdict %q, expected %q\n", r.Target, r.Verdict, exp)
+			failures++
+		case r.Verdict == "ok" && !r.Certified:
+			fmt.Fprintf(os.Stderr, "parserhawk: -expect: %s: compiled but failed certification: %s\n", r.Target, r.CertErr)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// readExpectations parses a -expect file: one "target verdict" pair per
+// line, blank lines and #-comments ignored.
+func readExpectations(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"target verdict\", got %q", path, i+1, line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	return want, nil
 }
 
 // hardestQuery keeps the most-conflicted QueryDump seen so far — overall

@@ -40,7 +40,14 @@ type Certificate struct {
 	Spec    string `json:"spec"`    // name of the input specification
 	SpecSHA string `json:"specSHA"` // sha256 of the canonical P4 text of the input spec
 	Profile string `json:"profile"` // hardware profile the program targets
-	Unroll  int    `json:"unroll,omitempty"`
+	// Arch is the profile's architecture class (hw.Arch.String()), so a
+	// checker can re-validate the program under the right device
+	// semantics — streaming window/depth rules differ from single-table
+	// ones — even when it resolves the profile name differently than the
+	// compiling binary did. Empty in pre-arch certificates; checkers then
+	// fall back to the resolved profile's own arch.
+	Arch   string `json:"arch,omitempty"`
+	Unroll int    `json:"unroll,omitempty"`
 
 	// Effective is the structural JSON (EncodeSpecJSON) of the effective
 	// spec: the input after the lint/prune fixpoint and, for loopy specs

@@ -25,6 +25,7 @@ func buildCertificate(orig, eff *pir.Spec, profile hw.Profile, unroll int, prog 
 		Spec:    orig.Name,
 		SpecSHA: specSHA(orig),
 		Profile: profile.Name,
+		Arch:    profile.Arch.String(),
 		Unroll:  unroll,
 	}
 	var err error

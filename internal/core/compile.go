@@ -68,10 +68,11 @@ func (e *LintError) Error() string {
 // produced a result.
 var errCanceled = errors.New("core: attempt canceled")
 
-// errBudgetTooSmall reports that a budget rung proved its entry budget
+// errBudgetTooSmall reports that a budget rung proved its search budget
 // insufficient (solver UNSAT, or the shape exceeded device limits); the
-// ladder climbs to the next rung.
-var errBudgetTooSmall = errors.New("core: entry budget too small")
+// ladder climbs to the next rung. The budget is measured in the profile
+// objective's units (see hw.Objective).
+var errBudgetTooSmall = errors.New("core: search budget too small")
 
 // Compile synthesizes a TCAM parser program implementing spec on the given
 // hardware profile. It is the whole Figure 8 pipeline: analysis, skeleton
@@ -153,14 +154,15 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 	}
 	stats.SearchSpaceBits = spec.SearchSpaceBits(estEntries, stages)
 
-	// Portfolio entry lower bound: any solution from skeleton i uses at
+	// Portfolio objective lower bound: any solution from skeleton i uses at
 	// least skeletonLowerBound(i) entries, so a solution at the portfolio
 	// minimum cannot be beaten on the entry count by any sibling. Reaching
-	// it cancels the rest of the race (§6.7 with early termination).
-	// Pipelined devices rank by stages, for which no such bound is
-	// computed, so they always run the portfolio to completion.
+	// it cancels the rest of the race (§6.7 with early termination). Only
+	// the entry-minimizing objective has such a bound; stage- and
+	// depth-ranked devices always run the portfolio to completion.
+	objective := profile.Objective.For(profile.Arch)
 	minLB := 0
-	if profile.Arch == hw.SingleTable && opts.Opt4ConstantSynthesis {
+	if objective.UsesEntryLowerBound() && opts.Opt4ConstantSynthesis {
 		for i := range synthSks {
 			lb := skeletonLowerBound(effSynth, &synthSks[i])
 			if minLB == 0 || lb < minLB {
@@ -169,7 +171,7 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		}
 	}
 	provablyCheapest := func(r *Result) bool {
-		return !opts.ExhaustPortfolio && minLB > 0 && r.Resources.Entries <= minLB
+		return !opts.ExhaustPortfolio && minLB > 0 && objective.Cost(r.Resources) <= minLB
 	}
 
 	raceCtx, cancelRace := context.WithCancel(ctx)
@@ -218,7 +220,7 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 			}
 			continue
 		}
-		if best == nil || cheaper(profile, o.res.Resources, best.Resources) {
+		if best == nil || resultCheaper(profile, o.res.Resources, best.Resources) {
 			best = o.res
 		}
 	}
@@ -349,20 +351,15 @@ func effectiveWorkers(opts Options) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// cheaper orders resource footprints by the device's scarce resource:
-// stages then entries for pipelined parsers, entries then states for
-// single-table parsers.
-func cheaper(profile hw.Profile, a, b tcam.Resources) bool {
-	if profile.Arch != hw.SingleTable {
-		if a.Stages != b.Stages {
-			return a.Stages < b.Stages
-		}
-		return a.Entries < b.Entries
-	}
-	if a.Entries != b.Entries {
-		return a.Entries < b.Entries
-	}
-	return a.States < b.States
+// resultCheaper orders resource footprints by the device's scarce
+// resource, as declared by the profile objective: entries then states for
+// entry-minimizing parsers, stages then entries for stage-ranked ones,
+// depth then entries then states for streaming pipelines. Dominance is
+// per-objective on purpose — a portfolio result that wins on one device's
+// objective may lose on another's, so cross-target comparison happens in
+// the harness, never inside one compile.
+func resultCheaper(profile hw.Profile, a, b tcam.Resources) bool {
+	return profile.Objective.For(profile.Arch).Less(a, b)
 }
 
 // compileSkeleton runs CEGIS over one skeleton. spec is the user's
@@ -382,19 +379,19 @@ func compileSkeleton(ctx context.Context, spec, effOrig, effSynth *pir.Spec, ori
 	return eng.runLadder(ctx, low, capN)
 }
 
-// ladderBounds computes one skeleton's entry-budget ladder endpoints: the
-// cap (sum of per-state maxima, clamped by the option and device limits)
-// and the starting rung.
+// ladderBounds computes one skeleton's budget ladder endpoints: the cap
+// (sum of per-state maxima, clamped by the option and device limits) and
+// the starting rung. The ladder always climbs entry counts — entries bound
+// the symbolic table the encoder builds — but the device clamp is the
+// objective's call (see hw.Objective.LadderCap).
 func ladderBounds(effSynth *pir.Spec, synthSk *skeleton, profile hw.Profile, opts Options) (low, capN int) {
 	for _, ss := range synthSk.States {
 		capN += ss.MaxEntries
 	}
-	if opts.MaxEntryBudget > 0 && opts.MaxEntryBudget < capN {
-		capN = opts.MaxEntryBudget
+	if opts.MaxBudget > 0 && opts.MaxBudget < capN {
+		capN = opts.MaxBudget
 	}
-	if profile.Arch == hw.SingleTable && capN > profile.TCAMLimit {
-		capN = profile.TCAMLimit
-	}
+	capN = profile.Objective.For(profile.Arch).LadderCap(profile, capN)
 	// Semantic lower bound: a state realizing spec states with k distinct
 	// implementation-level transition targets needs at least k entries
 	// (mask merging only combines rules with the same target, §6.4.2).
@@ -1028,7 +1025,7 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 			final = unoptimized
 			if eng.profile.Arch != hw.SingleTable {
 				var serr error
-				if final, serr = assignStages(final, eng.profile); serr != nil {
+				if final, serr = layoutPipeline(final, eng.profile); serr != nil {
 					return fin(errBudgetTooSmall)
 				}
 			}

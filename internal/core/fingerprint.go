@@ -39,7 +39,7 @@ func (o Options) Fingerprint() string {
 		o.Opt1SpecGuidedKeys, o.Opt2BitWidthMin, o.Opt3Preallocation,
 		o.Opt4ConstantSynthesis, o.Opt5KeyGrouping, o.Opt6FreezeVarbits,
 		o.Opt7Parallelism,
-		o.MaxIterations, o.MaxEntryBudget,
+		o.MaxIterations, o.MaxBudget,
 		o.ExhaustiveVerifyBits, o.VerifySamples,
 		o.SkipLint, o.Seed,
 	)

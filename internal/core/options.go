@@ -48,10 +48,11 @@ type Options struct {
 	// derived from the specification.
 	MaxIterations int
 
-	// MaxEntryBudget caps the iterative-deepening search for TCAM entries.
-	// Zero derives a bound from the specification (one entry per spec rule
-	// plus defaults).
-	MaxEntryBudget int
+	// MaxBudget caps the iterative-deepening search budget, in the profile
+	// objective's units (TCAM entries for entry-minimizing targets; see
+	// hw.Objective). Zero derives a bound from the specification (one entry
+	// per spec rule plus defaults).
+	MaxBudget int
 
 	// ExhaustiveVerifyBits is the largest input-space size (in bits) that
 	// the verifier checks exhaustively; larger spaces use directed plus

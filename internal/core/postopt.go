@@ -20,12 +20,83 @@ func postOptimize(prog *tcam.Program, profile hw.Profile) (*tcam.Program, error)
 	prog = splitWideExtractions(prog, profile)
 	if profile.Arch != hw.SingleTable {
 		var err error
-		prog, err = assignStages(prog, profile)
+		prog, err = layoutPipeline(prog, profile)
 		if err != nil {
 			return nil, err
 		}
 	}
 	return prog, nil
+}
+
+// layoutPipeline lays a loop-free program out onto pipeline stages:
+// longest-path stage assignment for every pipelined architecture, plus
+// cycle alignment for streaming devices, where a transition cannot skip a
+// stage (the window advances whether or not the parser has work for it).
+func layoutPipeline(prog *tcam.Program, profile hw.Profile) (*tcam.Program, error) {
+	prog, err := assignStages(prog, profile)
+	if err != nil {
+		return nil, err
+	}
+	if profile.Arch == hw.Streaming {
+		prog = alignStreamingStages(prog)
+	}
+	return prog, nil
+}
+
+// alignStreamingStages rewrites every stage-skipping transition through a
+// chain of pass-through states (empty key, one mask-0 entry, no
+// extraction), one per skipped cycle, so each transition advances exactly
+// one stage. Pass-throughs are shared: all entries hopping from stage s
+// toward the same eventual target reuse one chain. Stage assignment never
+// moves, so the result stays within the already-checked StageLimit; the
+// cost is one entry per skipped cycle per distinct target, which is the
+// price the streaming device really pays to carry state across a cycle.
+func alignStreamingStages(prog *tcam.Program) *tcam.Program {
+	out := &tcam.Program{Spec: prog.Spec}
+	out.States = append([]tcam.State(nil), prog.States...)
+	nextID := map[int]int{}
+	for i := range out.States {
+		if out.States[i].ID >= nextID[out.States[i].Table] {
+			nextID[out.States[i].Table] = out.States[i].ID + 1
+		}
+	}
+	type key [3]int // pass-through stage, target stage, target id
+	hops := map[key]tcam.Target{}
+	// align returns a target in stage from+1 that reaches tgt (in a stage
+	// strictly beyond from), materializing pass-through states on demand.
+	var align func(from int, tgt tcam.Target) tcam.Target
+	align = func(from int, tgt tcam.Target) tcam.Target {
+		if tgt.Table == from+1 {
+			return tgt
+		}
+		k := key{from + 1, tgt.Table, tgt.State}
+		if t, ok := hops[k]; ok {
+			return t
+		}
+		id := nextID[from+1]
+		nextID[from+1]++
+		t := tcam.To(from+1, id)
+		hops[k] = t
+		out.States = append(out.States, tcam.State{
+			Table:   from + 1,
+			ID:      id,
+			Entries: []tcam.Entry{{Next: align(from+1, tgt)}},
+		})
+		return t
+	}
+	n := len(out.States) // pass-throughs appended later are born aligned
+	for i := 0; i < n; i++ {
+		entries := append([]tcam.Entry(nil), out.States[i].Entries...)
+		from := out.States[i].Table
+		for ei := range entries {
+			nx := entries[ei].Next
+			if nx.Kind == tcam.ToState && nx.Table > from+1 {
+				entries[ei].Next = align(from, nx)
+			}
+		}
+		out.States[i].Entries = entries
+	}
+	return out
 }
 
 // foldSingletonStates absorbs states that hold exactly one unconditional

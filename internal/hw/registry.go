@@ -1,15 +1,70 @@
 package hw
 
-// ByName returns the built-in full-device profile with the given name.
-// The compile service and the CLIs resolve user-supplied target names
-// through it (the evaluation harness adds its scaled equivalents on top;
-// see tables.ProfileByName).
-func ByName(name string) (Profile, bool) {
-	switch name {
-	case "tofino":
-		return Tofino(), true
-	case "ipu":
-		return IPU(), true
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The profile registry is the single source of truth for named device
+// profiles: the CLI -target/-targets flags, hawkd's /v1/profiles endpoint,
+// and the evaluation harness all resolve names through it, so a profile
+// registered once appears everywhere at once. The full devices register
+// here in init; the evaluation harness registers its scaled equivalents on
+// top (see internal/tables).
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Profile
+	order  []string
+}{byName: map[string]Profile{}}
+
+// Register adds a named profile to the registry. It panics on an empty
+// name or a duplicate: both are programmer errors, and a late duplicate
+// would silently shadow an already-resolvable target.
+func Register(p Profile) {
+	if p.Name == "" {
+		panic("hw: Register with empty profile name")
 	}
-	return Profile{}, false
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[p.Name]; dup {
+		panic(fmt.Sprintf("hw: profile %q registered twice", p.Name))
+	}
+	registry.byName[p.Name] = p
+	registry.order = append(registry.order, p.Name)
+}
+
+// ByName resolves a registered profile by name.
+func ByName(name string) (Profile, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	p, ok := registry.byName[name]
+	return p, ok
+}
+
+// All returns every registered profile in registration order.
+func All() []Profile {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Profile, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
+// Names returns every registered profile name, sorted, for error messages
+// that list the valid targets.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := append([]string(nil), registry.order...)
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(Tofino())
+	Register(IPU())
+	Register(FPGAStreaming())
 }

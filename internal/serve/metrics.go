@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -25,7 +26,12 @@ func (c *counter) value() int64 { return c.v.Load() }
 type aggregates struct {
 	mu       sync.Mutex
 	verdicts map[string]int64
-	solver   core.SolverStats
+	// profileVerdicts tallies verdicts per target profile, keyed
+	// profile\x00verdict, so /stats can answer "which targets fail" —
+	// indistinguishable in the aggregate the moment the server compiles
+	// for more than one device.
+	profileVerdicts map[string]int64
+	solver          core.SolverStats
 
 	laddersRun         int64
 	refutersRun        int64
@@ -37,15 +43,17 @@ type aggregates struct {
 }
 
 func newAggregates() *aggregates {
-	return &aggregates{verdicts: map[string]int64{}}
+	return &aggregates{verdicts: map[string]int64{}, profileVerdicts: map[string]int64{}}
 }
 
 // record folds one finished compilation into the totals. stats may be nil
-// (failed compiles carry no Stats payload); the verdict is always counted.
-func (a *aggregates) record(verdict string, stats *core.Stats) {
+// (failed compiles carry no Stats payload); the verdict is always counted,
+// both in the aggregate and under its target profile.
+func (a *aggregates) record(profile, verdict string, stats *core.Stats) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.verdicts[verdict]++
+	a.profileVerdicts[profile+"\x00"+verdict]++
 	if stats == nil {
 		return
 	}
@@ -73,6 +81,10 @@ func (m metricWriter) sample(name string, v int64) {
 
 func (m metricWriter) labeled(name, label, value string, v int64) {
 	fmt.Fprintf(m.w, "%s{%s=%q} %d\n", name, label, value, v)
+}
+
+func (m metricWriter) labeled2(name, l1, v1, l2, v2 string, v int64) {
+	fmt.Fprintf(m.w, "%s{%s=%q,%s=%q} %d\n", name, l1, v1, l2, v2, v)
 }
 
 // writeMetrics renders every server metric. It takes the live gauges by
@@ -125,6 +137,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for k, v := range s.agg.verdicts {
 		verdicts[k] = v
 	}
+	profileVerdicts := make(map[string]int64, len(s.agg.profileVerdicts))
+	for k, v := range s.agg.profileVerdicts {
+		profileVerdicts[k] = v
+	}
 	solver := s.agg.solver
 	ladders, refuters := s.agg.laddersRun, s.agg.refutersRun
 	refuted, dominated := s.agg.skeletonsRefuted, s.agg.skeletonsDominated
@@ -139,6 +155,17 @@ func (s *Server) writeMetrics(w io.Writer) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		m.labeled("hawkd_compile_verdicts_total", "verdict", k, verdicts[k])
+	}
+
+	m.family("hawkd_compile_profile_verdicts_total", "counter", "Finished compilations by target profile and verdict.")
+	pkeys := make([]string, 0, len(profileVerdicts))
+	for k := range profileVerdicts {
+		pkeys = append(pkeys, k)
+	}
+	sort.Strings(pkeys)
+	for _, k := range pkeys {
+		profile, verdict, _ := strings.Cut(k, "\x00")
+		m.labeled2("hawkd_compile_profile_verdicts_total", "profile", profile, "verdict", verdict, profileVerdicts[k])
 	}
 
 	m.family("hawkd_solver_solves_total", "counter", "SAT Solve calls across all compilations.")

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +54,9 @@ const (
 	VerdictLintError  = "lint_error"
 	VerdictUnknown    = "unknown"
 	VerdictError      = "error"
+	// VerdictMulti marks a multi-target envelope: the per-target verdicts
+	// live in CompileResponse.Targets.
+	VerdictMulti = "multi"
 )
 
 // Cache dispositions reported in CompileResponse.Cache.
@@ -120,6 +125,12 @@ type CompileRequest struct {
 	// Profile names the target device (GET /v1/profiles lists them);
 	// empty selects the server default.
 	Profile string `json:"profile,omitempty"`
+	// Targets names several target devices at once: the spec is compiled
+	// for each (sharing the cache, coalescing, and worker pool with
+	// single-target requests) and the response is a VerdictMulti envelope
+	// with one entry per target, in request order. Mutually exclusive with
+	// Profile.
+	Targets []string `json:"targets,omitempty"`
 	// Timeout bounds how long this request waits for a verdict, as a Go
 	// duration string; the ?timeout= query parameter overrides it.
 	Timeout string `json:"timeout,omitempty"`
@@ -133,7 +144,9 @@ type CompileOptions struct {
 	Naive bool `json:"naive,omitempty"`
 	// MaxIterations is the loop unrolling bound (0 = derived).
 	MaxIterations int `json:"max_iterations,omitempty"`
-	// MaxEntryBudget caps the entry-budget ladder (0 = derived).
+	// MaxEntryBudget caps the search-budget ladder, in the target
+	// objective's units (core.Options.MaxBudget). The wire name predates
+	// the objective-generic ladder and is kept for client compatibility.
 	MaxEntryBudget int `json:"max_entry_budget,omitempty"`
 	// Workers is the portfolio width this compile would use standalone;
 	// the scheduler may grant fewer under load (0 = server capacity).
@@ -149,6 +162,12 @@ type CompileOptions struct {
 type CompileResponse struct {
 	Verdict string `json:"verdict"`
 	Reason  string `json:"reason,omitempty"`
+	// Profile names the device this verdict is for; always set on compile
+	// outcomes, so multi-target entries are self-describing.
+	Profile string `json:"profile,omitempty"`
+	// Targets holds the per-target responses of a VerdictMulti envelope,
+	// in request order.
+	Targets []CompileResponse `json:"targets,omitempty"`
 	// Program is the TCAM entry table rendered exactly as the parserhawk
 	// CLI prints it; ProgramJSON is the deployment encoding.
 	Program     string          `json:"program,omitempty"`
@@ -178,6 +197,8 @@ type ProfileInfo struct {
 	LookaheadLimit int    `json:"lookahead_limit"`
 	StageLimit     int    `json:"stage_limit,omitempty"`
 	ExtractLimit   int    `json:"extract_limit"`
+	WindowBits     int    `json:"window_bits,omitempty"`
+	Objective      string `json:"objective"`
 	Default        bool   `json:"default,omitempty"`
 }
 
@@ -280,6 +301,8 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 			LookaheadLimit: p.LookaheadLimit,
 			StageLimit:     p.StageLimit,
 			ExtractLimit:   p.ExtractLimit,
+			WindowBits:     p.WindowBits,
+			Objective:      p.Objective.For(p.Arch).String(),
 			Default:        p.Name == s.cfg.DefaultProfile,
 		})
 	}
@@ -333,7 +356,7 @@ func (s *Server) buildOptions(ro *CompileOptions) (core.Options, int) {
 		opts.MaxIterations = ro.MaxIterations
 	}
 	if ro.MaxEntryBudget > 0 {
-		opts.MaxEntryBudget = ro.MaxEntryBudget
+		opts.MaxBudget = ro.MaxEntryBudget
 	}
 	if ro.Seed != 0 {
 		opts.Seed = ro.Seed
@@ -347,8 +370,12 @@ func (s *Server) buildOptions(ro *CompileOptions) (core.Options, int) {
 
 // cacheKey derives the content address of one compilation: the canonical
 // (pretty-printed) spec text — so formatting, comments, and header-name
-// choices that normalize away do not fragment the cache — plus the
-// profile name and the outcome-relevant options fingerprint.
+// choices that normalize away do not fragment the cache — plus the full
+// profile fingerprint and the outcome-relevant options fingerprint. The
+// profile contributes its Fingerprint, not its Name: names do not pin the
+// architecture or the objective, and a name-keyed cache could alias a
+// tofino result onto an fpga request if two registrations ever shared a
+// name (see hw.Profile.Fingerprint).
 func cacheKey(spec *pir.Spec, source string, profile hw.Profile, opts core.Options) string {
 	canonical := source
 	if printed, err := p4.Print(spec); err == nil {
@@ -357,7 +384,7 @@ func cacheKey(spec *pir.Spec, source string, profile hw.Profile, opts core.Optio
 	h := sha256.New()
 	h.Write([]byte(canonical))
 	h.Write([]byte{0})
-	h.Write([]byte(profile.Name))
+	h.Write([]byte(profile.Fingerprint()))
 	h.Write([]byte{0})
 	h.Write([]byte(opts.Fingerprint()))
 	return hex.EncodeToString(h.Sum(nil))
@@ -384,15 +411,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing spec source")
 		return
 	}
-	profName := req.Profile
-	if profName == "" {
-		profName = s.cfg.DefaultProfile
-	}
-	profile, ok := s.profiles[profName]
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown profile %q (GET /v1/profiles lists them)", profName)
-		return
-	}
 	wait, err := s.waitTimeout(r, &req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -405,10 +423,75 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, want := s.buildOptions(req.Options)
 
-	key := cacheKey(spec, req.Source, profile, opts)
-	if out, ok := s.cache.get(key); ok {
-		s.respond(w, out, CacheHit, start)
+	reqCtx, cancelWait := context.WithTimeout(r.Context(), wait)
+	defer cancelWait()
+
+	if len(req.Targets) > 0 {
+		if req.Profile != "" {
+			httpError(w, http.StatusBadRequest, "profile and targets are mutually exclusive")
+			return
+		}
+		profiles := make([]hw.Profile, len(req.Targets))
+		for i, name := range req.Targets {
+			p, ok := s.profiles[name]
+			if !ok {
+				httpError(w, http.StatusBadRequest, "unknown target %q (known: %s)",
+					name, strings.Join(s.order, ", "))
+				return
+			}
+			profiles[i] = p
+		}
+		// Fan the spec out across the targets concurrently. Each target is
+		// an ordinary single-flight compilation — same cache keys, same
+		// coalescing — so a multi-target request and a single-target request
+		// for one of its members share work. The portfolio worker budget is
+		// split across the fan-out; the scheduler keeps the pool itself from
+		// oversubscribing.
+		wantEach := want / len(profiles)
+		if wantEach < 1 {
+			wantEach = 1
+		}
+		results := make([]CompileResponse, len(profiles))
+		var wg sync.WaitGroup
+		for i, p := range profiles {
+			wg.Add(1)
+			go func(i int, p hw.Profile) {
+				defer wg.Done()
+				out, disposition := s.compileVia(reqCtx, spec, req.Source, p, opts, wantEach)
+				resp := out.resp
+				resp.Profile = p.Name
+				resp.Cache = disposition
+				results[i] = resp
+			}(i, p)
+		}
+		wg.Wait()
+		env := &outcome{resp: CompileResponse{Verdict: VerdictMulti, Targets: results}}
+		s.respond(w, env, VerdictMulti, start)
 		return
+	}
+
+	profName := req.Profile
+	if profName == "" {
+		profName = s.cfg.DefaultProfile
+	}
+	profile, ok := s.profiles[profName]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown profile %q (GET /v1/profiles lists them)", profName)
+		return
+	}
+	out, disposition := s.compileVia(reqCtx, spec, req.Source, profile, opts, want)
+	s.respond(w, out, disposition, start)
+}
+
+// compileVia serves one (spec, profile, options) compilation through the
+// cache and the single-flight group, waiting no longer than reqCtx allows.
+// It returns the outcome and its cache disposition; on a deadline it
+// returns verdict unknown while the flight keeps running for any other
+// waiters.
+func (s *Server) compileVia(reqCtx context.Context, spec *pir.Spec, source string, profile hw.Profile, opts core.Options, want int) (*outcome, string) {
+	key := cacheKey(spec, source, profile, opts)
+	if out, ok := s.cache.get(key); ok {
+		return out, CacheHit
 	}
 
 	// Join (or start) the single flight for this key. The compile runs
@@ -427,9 +510,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return out
 		})
 
-	reqCtx, cancelWait := context.WithTimeout(r.Context(), wait)
-	defer cancelWait()
-
 	disposition := CacheMiss
 	if !leader {
 		disposition = CacheCoalesced
@@ -439,7 +519,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case <-f.done:
 		out := f.out
 		s.group.leave(key, f)
-		s.respond(w, out, disposition, start)
+		return out, disposition
 	case <-reqCtx.Done():
 		s.group.leave(key, f)
 		s.deadlineExpired.inc()
@@ -447,7 +527,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(reqCtx.Err(), context.Canceled) {
 			reason = "request canceled"
 		}
-		s.respond(w, &outcome{resp: CompileResponse{Verdict: VerdictUnknown, Reason: reason}}, disposition, start)
+		return &outcome{resp: CompileResponse{Verdict: VerdictUnknown, Profile: profile.Name, Reason: reason}}, disposition
 	}
 }
 
@@ -462,9 +542,10 @@ func (s *Server) compileOutcome(ctx context.Context, spec *pir.Spec, profile hw.
 	if err != nil {
 		out := &outcome{resp: CompileResponse{
 			Verdict: VerdictUnknown,
+			Profile: profile.Name,
 			Reason:  "compile aborted while queued for workers",
 		}}
-		s.agg.record(VerdictUnknown, nil)
+		s.agg.record(profile.Name, VerdictUnknown, nil)
 		return out
 	}
 	defer s.sched.release(granted)
@@ -479,6 +560,7 @@ func (s *Server) compileOutcome(ctx context.Context, spec *pir.Spec, profile hw.
 	case cerr == nil:
 		out.resp = CompileResponse{
 			Verdict:     VerdictOK,
+			Profile:     profile.Name,
 			Program:     res.Program.String(),
 			Entries:     res.Resources.Entries,
 			Stages:      res.Resources.Stages,
@@ -506,21 +588,21 @@ func (s *Server) compileOutcome(ctx context.Context, spec *pir.Spec, profile hw.
 			out.resp.Certificate = data
 		}
 	case errors.Is(cerr, core.ErrTimeout), ctx.Err() != nil:
-		out.resp = CompileResponse{Verdict: VerdictUnknown, Reason: "compilation interrupted: " + cerr.Error()}
+		out.resp = CompileResponse{Verdict: VerdictUnknown, Profile: profile.Name, Reason: "compilation interrupted: " + cerr.Error()}
 	case errors.Is(cerr, core.ErrNoSolution):
-		out.resp = CompileResponse{Verdict: VerdictNoSolution, Reason: cerr.Error()}
+		out.resp = CompileResponse{Verdict: VerdictNoSolution, Profile: profile.Name, Reason: cerr.Error()}
 		out.cacheable = true
 	default:
 		var lintErr *core.LintError
 		if errors.As(cerr, &lintErr) {
-			out.resp = CompileResponse{Verdict: VerdictLintError, Reason: cerr.Error()}
+			out.resp = CompileResponse{Verdict: VerdictLintError, Profile: profile.Name, Reason: cerr.Error()}
 			out.cacheable = true
 		} else {
-			out.resp = CompileResponse{Verdict: VerdictError, Reason: cerr.Error()}
+			out.resp = CompileResponse{Verdict: VerdictError, Profile: profile.Name, Reason: cerr.Error()}
 		}
 	}
 	out.size = outcomeSize(out)
-	s.agg.record(out.resp.Verdict, out.resp.Stats)
+	s.agg.record(profile.Name, out.resp.Verdict, out.resp.Stats)
 	return out
 }
 

@@ -544,3 +544,124 @@ func TestCertificateAttachedAndCacheable(t *testing.T) {
 		t.Fatal("cached replay served different certificate bytes")
 	}
 }
+
+// TestMultiTargetCompile exercises the targets fan-out: one request, one
+// envelope with verdict "multi" and one ordinary per-target response per
+// requested profile, in request order, each stamped with its profile
+// name. A repeat of the same request must hit the shared cache once per
+// target — the per-target compiles populate it under profile-qualified
+// keys.
+func TestMultiTargetCompile(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Profiles = []hw.Profile{tables.TofinoScaled(), tables.IPUScaled(), tables.FPGAScaled()}
+	})
+	url := ts.URL + "/v1/compile"
+	want := []string{"tofino-scaled", "ipu-scaled", "fpga-scaled"}
+	code, resp, raw := postCompile(t, url, CompileRequest{Source: specA, Targets: want})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.Verdict != VerdictMulti {
+		t.Fatalf("verdict %q, want %q", resp.Verdict, VerdictMulti)
+	}
+	if len(resp.Targets) != len(want) {
+		t.Fatalf("targets %d, want %d", len(resp.Targets), len(want))
+	}
+	for i, name := range want {
+		sub := resp.Targets[i]
+		if sub.Profile != name {
+			t.Errorf("target %d: profile %q, want %q", i, sub.Profile, name)
+		}
+		if sub.Verdict != VerdictOK {
+			t.Errorf("%s: verdict %q (%s)", name, sub.Verdict, sub.Reason)
+		}
+		if sub.Program == "" {
+			t.Errorf("%s: no program in sub-response", name)
+		}
+	}
+	_, resp2, _ := postCompile(t, url, CompileRequest{Source: specA, Targets: want})
+	for _, sub := range resp2.Targets {
+		if sub.Cache != CacheHit {
+			t.Errorf("%s: repeat disposition %q, want %q", sub.Profile, sub.Cache, CacheHit)
+		}
+	}
+	if got := s.compiles.value(); got != int64(len(want)) {
+		t.Fatalf("compiles %d, want %d", got, len(want))
+	}
+}
+
+// TestMultiTargetRequestValidation: profile and targets are mutually
+// exclusive, and an unknown target is a 400 that lists the registry so
+// the client can see what the server actually resolves.
+func TestMultiTargetRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/compile"
+	code, _, raw := postCompile(t, url, CompileRequest{
+		Source: specA, Profile: "tofino-scaled", Targets: []string{"ipu-scaled"},
+	})
+	if code != http.StatusBadRequest || !strings.Contains(raw, "mutually exclusive") {
+		t.Fatalf("profile+targets: %d %s", code, raw)
+	}
+	code, _, raw = postCompile(t, url, CompileRequest{Source: specA, Targets: []string{"nope"}})
+	if code != http.StatusBadRequest || !strings.Contains(raw, "unknown target") ||
+		!strings.Contains(raw, "nope") || !strings.Contains(raw, "tofino-scaled") {
+		t.Fatalf("unknown target: %d %s", code, raw)
+	}
+}
+
+// TestCacheKeyIncludesArchAndObjective is the aliasing regression: two
+// profiles that agree on every numeric limit and even on the name but
+// target different architectures or objectives must not share a cache
+// slot — otherwise a cached tofino result could be replayed for an fpga
+// request, complete with a program the fpga cannot deploy.
+func TestCacheKeyIncludesArchAndObjective(t *testing.T) {
+	spec, err := p4.ParseSpec(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	base := tables.TofinoScaled()
+
+	archAlias := base
+	archAlias.Arch = hw.Streaming
+	archAlias.WindowBits = 24
+	if cacheKey(spec, specA, base, opts) == cacheKey(spec, specA, archAlias, opts) {
+		t.Fatal("cache key ignores the target architecture")
+	}
+
+	objAlias := base
+	objAlias.Objective = hw.MinimizeStages
+	if cacheKey(spec, specA, base, opts) == cacheKey(spec, specA, objAlias, opts) {
+		t.Fatal("cache key ignores the synthesis objective")
+	}
+}
+
+// TestPerProfileVerdictMetrics: multi-target compiles break verdicts out
+// per profile in /stats while the original single-label family keeps its
+// meaning (one finished compilation each).
+func TestPerProfileVerdictMetrics(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/compile"
+	code, _, raw := postCompile(t, url, CompileRequest{
+		Source: specA, Targets: []string{"tofino-scaled", "ipu-scaled"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	metrics, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	for _, want := range []string{
+		`hawkd_compile_profile_verdicts_total{profile="ipu-scaled",verdict="ok"} 1`,
+		`hawkd_compile_profile_verdicts_total{profile="tofino-scaled",verdict="ok"} 1`,
+		`hawkd_compile_verdicts_total{verdict="ok"} 2`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/stats missing %q", want)
+		}
+	}
+}

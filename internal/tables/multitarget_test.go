@@ -1,0 +1,51 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/core"
+	"parserhawk/internal/hw"
+)
+
+// TestCompileTargetsComparison runs the multi-target fan-out the
+// parserhawk -targets mode uses: one spec across all three scaled
+// profiles, every row ok, every row certified by the independent
+// checker, and each row reporting in its own objective's units.
+func TestCompileTargetsComparison(t *testing.T) {
+	b, ok := benchdata.ByName("Parse Ethernet")
+	if !ok {
+		t.Fatal("Parse Ethernet benchmark missing")
+	}
+	opts := core.DefaultOptions()
+	opts.Timeout = 2 * time.Minute
+	opts.Workers = 4
+	profiles := []hw.Profile{TofinoScaled(), IPUScaled(), FPGAScaled()}
+	runs := CompileTargets(b.Spec, profiles, opts)
+	if len(runs) != len(profiles) {
+		t.Fatalf("runs=%d want %d", len(runs), len(profiles))
+	}
+	for i, r := range runs {
+		if r.Target != profiles[i].Name {
+			t.Errorf("run %d: target %q, want %q (request order must be preserved)", i, r.Target, profiles[i].Name)
+		}
+		if r.Verdict != "ok" {
+			t.Errorf("%s: verdict %q (%s)", r.Target, r.Verdict, r.Err)
+			continue
+		}
+		if !r.Certified {
+			t.Errorf("%s: compiled but uncertified: %s", r.Target, r.CertErr)
+		}
+		if r.Objective != profiles[i].Objective.For(profiles[i].Arch) {
+			t.Errorf("%s: objective %v", r.Target, r.Objective)
+		}
+	}
+	out := FormatTargets(runs)
+	for _, want := range []string{"tofino-scaled", "ipu-scaled", "fpga-scaled", "min-depth", "objective"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}

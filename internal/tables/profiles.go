@@ -2,28 +2,26 @@ package tables
 
 import "parserhawk/internal/hw"
 
+// The scaled evaluation profiles join the hw registry at init, so the
+// compile service's /v1/profiles endpoint, the CLI -target/-targets flags,
+// and the bench harness all see one list — a precondition of the
+// service-vs-CLI identity gate. The full devices register themselves in
+// internal/hw.
+func init() {
+	hw.Register(TofinoScaled())
+	hw.Register(IPUScaled())
+	hw.Register(FPGAScaled())
+}
+
 // Profiles returns every named device profile the repository knows how to
 // compile for: the full devices (internal/hw) and the scaled evaluation
-// equivalents this package defines. The compile service's /v1/profiles
-// endpoint and the CLI -target flag are both fed from this list, so a
-// profile name accepted by one is accepted by the other — a precondition
-// of the service-vs-CLI identity gate.
+// equivalents this package defines, in registration order.
 func Profiles() []hw.Profile {
-	return []hw.Profile{
-		hw.Tofino(),
-		hw.IPU(),
-		TofinoScaled(),
-		IPUScaled(),
-	}
+	return hw.All()
 }
 
 // ProfileByName resolves a device profile by its Name field, covering
 // both the full devices and the scaled evaluation profiles.
 func ProfileByName(name string) (hw.Profile, bool) {
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p, true
-		}
-	}
 	return hw.ByName(name)
 }

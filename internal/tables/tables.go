@@ -51,6 +51,23 @@ func IPUScaled() hw.Profile {
 	}
 }
 
+// FPGAScaled is the streaming-pipeline profile used for the FPGA columns:
+// the scaled equivalent of hw.FPGAStreaming, with the window shrunk in
+// proportion to the scaled key and lookahead limits.
+func FPGAScaled() hw.Profile {
+	return hw.Profile{
+		Name:           "fpga-scaled",
+		Arch:           hw.Streaming,
+		KeyLimit:       12,
+		TCAMLimit:      24,
+		LookaheadLimit: 24,
+		StageLimit:     12,
+		ExtractLimit:   24,
+		WindowBits:     24,
+		Objective:      hw.MinimizeDepth,
+	}
+}
+
 // Config controls a harness run.
 type Config struct {
 	// OptTimeout bounds each optimized compilation (default 2 min).
@@ -122,37 +139,41 @@ type T3Row struct {
 	VendorTofino TargetResult // Tofino compiler model
 	IPU          TargetResult // ParserHawk on the IPU profile
 	VendorIPU    TargetResult // IPU compiler model
+	FPGA         TargetResult // ParserHawk on the FPGA streaming profile
+	VendorFPGA   TargetResult // FPGA streaming baseline model
 }
 
 // Table3 runs every benchmark through ParserHawk (optimized, and
-// optionally naive) and the two vendor-compiler models on both targets.
+// optionally naive) and the vendor-compiler models on all three targets.
 func Table3(cfg Config) []T3Row {
-	return runTable3(benchdata.All(), TofinoScaled(), IPUScaled(), cfg)
+	return runTable3(benchdata.All(), TofinoScaled(), IPUScaled(), FPGAScaled(), cfg)
 }
 
-// runTable3 compiles the benchmark set on both targets, one benchmark at
+// runTable3 compiles the benchmark set on every target, one benchmark at
 // a time; cfg.Workers parallelizes inside each compilation (the portfolio
 // scheduler), not across rows, so wall-clock and solver counters attribute
 // cleanly to individual benchmarks and the stats stream arrives in order
 // by construction.
-func runTable3(benches []benchdata.Benchmark, tof, ipu hw.Profile, cfg Config) []T3Row {
+func runTable3(benches []benchdata.Benchmark, tof, ipu, fpga hw.Profile, cfg Config) []T3Row {
 	cfg = cfg.withDefaults()
 	var rows []T3Row
 	for _, b := range benches {
 		if cfg.Filter != "" && !strings.Contains(b.Name(), cfg.Filter) {
 			continue
 		}
-		rows = append(rows, table3Row(b, tof, ipu, cfg))
+		rows = append(rows, table3Row(b, tof, ipu, fpga, cfg))
 	}
 	return rows
 }
 
-func table3Row(b benchdata.Benchmark, tof, ipu hw.Profile, cfg Config) T3Row {
+func table3Row(b benchdata.Benchmark, tof, ipu, fpga hw.Profile, cfg Config) T3Row {
 	row := T3Row{Program: b.Name()}
 	row.Tofino = runParserHawk(b, tof, cfg)
 	row.IPU = runParserHawk(b, ipu, cfg)
-	row.VendorTofino = runVendor(b, tof, true)
-	row.VendorIPU = runVendor(b, ipu, false)
+	row.FPGA = runParserHawk(b, fpga, cfg)
+	row.VendorTofino = runVendor(b, tof)
+	row.VendorIPU = runVendor(b, ipu)
+	row.VendorFPGA = runVendor(b, fpga)
 	return row
 }
 
@@ -222,22 +243,21 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	return out
 }
 
-func runVendor(b benchdata.Benchmark, profile hw.Profile, tofino bool) TargetResult {
+func runVendor(b benchdata.Benchmark, profile hw.Profile) TargetResult {
 	t0 := time.Now()
-	var entries, stages int
+	var r *vendorc.Result
 	var err error
-	if tofino {
-		var r *vendorc.Result
+	switch profile.Arch {
+	case hw.SingleTable:
 		r, err = vendorc.CompileTofino(b.Spec, profile)
-		if err == nil {
-			entries, stages = r.Entries, r.Stages
-		}
-	} else {
-		var r *vendorc.Result
+	case hw.Streaming:
+		r, err = vendorc.CompileStreaming(b.Spec, profile)
+	default:
 		r, err = vendorc.CompileIPU(b.Spec, profile)
-		if err == nil {
-			entries, stages = r.Entries, r.Stages
-		}
+	}
+	var entries, stages int
+	if err == nil {
+		entries, stages = r.Entries, r.Stages
 	}
 	out := TargetResult{Entries: entries, Stages: stages, OptSeconds: time.Since(t0).Seconds()}
 	if err != nil {
@@ -261,7 +281,7 @@ func shortVendorErr(err error) string {
 // timeout while the optimized compiler stays in seconds, reproducing the
 // paper's O(day) → O(minute) speedup shape.
 func Table3Wire(cfg Config) []T3Row {
-	return runTable3(benchdata.WireScale(), hw.Tofino(), hw.IPU(), cfg)
+	return runTable3(benchdata.WireScale(), hw.Tofino(), hw.IPU(), hw.FPGAStreaming(), cfg)
 }
 
 // Summary aggregates a Table 3 run into the §7 headline statistics.
@@ -317,6 +337,7 @@ func Summarize(rows []T3Row) Summary {
 	for _, r := range rows {
 		cell(r.Tofino, r.VendorTofino, false)
 		cell(r.IPU, r.VendorIPU, true)
+		cell(r.FPGA, r.VendorFPGA, true)
 	}
 	if n > 0 {
 		s.GeomeanSpeedup = math.Exp(logSum / float64(n))
@@ -330,18 +351,21 @@ func Summarize(rows []T3Row) Summary {
 func FormatTable3(rows []T3Row, withOrig bool) string {
 	var sb strings.Builder
 	if withOrig {
-		fmt.Fprintf(&sb, "%-38s | %6s %6s %8s %9s %9s | %-16s | %6s %6s %8s %9s %9s | %-16s\n",
+		fmt.Fprintf(&sb, "%-38s | %6s %6s %8s %9s %9s | %-16s | %6s %6s %8s %9s %9s | %-16s | %6s %6s %8s %9s %9s | %-16s\n",
 			"Program", "PH#TCAM", "bits", "OPT(s)", "Orig(s)", "speedup", "Tofino compiler",
-			"PH#Stg", "bits", "OPT(s)", "Orig(s)", "speedup", "IPU compiler")
+			"PH#Stg", "bits", "OPT(s)", "Orig(s)", "speedup", "IPU compiler",
+			"PH#Cyc", "bits", "OPT(s)", "Orig(s)", "speedup", "FPGA baseline")
 	} else {
-		fmt.Fprintf(&sb, "%-38s | %7s %6s %8s | %-16s | %7s %6s %8s | %-16s\n",
+		fmt.Fprintf(&sb, "%-38s | %7s %6s %8s | %-16s | %7s %6s %8s | %-16s | %7s %6s %8s | %-16s\n",
 			"Program", "PH#TCAM", "bits", "OPT(s)", "Tofino compiler",
-			"PH#Stg", "bits", "OPT(s)", "IPU compiler")
+			"PH#Stg", "bits", "OPT(s)", "IPU compiler",
+			"PH#Cyc", "bits", "OPT(s)", "FPGA baseline")
 	}
-	sb.WriteString(strings.Repeat("-", 150) + "\n")
+	sb.WriteString(strings.Repeat("-", 210) + "\n")
 	for _, r := range rows {
 		vt := fmtVendor(r.VendorTofino, false)
 		vi := fmtVendor(r.VendorIPU, true)
+		vf := fmtVendor(r.VendorFPGA, true)
 		pht := fmt.Sprintf("%d", r.Tofino.Entries)
 		if r.Tofino.Err != "" {
 			pht = "FAIL"
@@ -350,18 +374,25 @@ func FormatTable3(rows []T3Row, withOrig bool) string {
 		if r.IPU.Err != "" {
 			phi = "FAIL"
 		}
+		phf := fmt.Sprintf("%d", r.FPGA.Stages)
+		if r.FPGA.Err != "" {
+			phf = "FAIL"
+		}
 		if withOrig {
-			fmt.Fprintf(&sb, "%-38s | %7s %6d %8.2f %9s %9s | %-16s | %6s %6d %8.2f %9s %9s | %-16s\n",
+			fmt.Fprintf(&sb, "%-38s | %7s %6d %8.2f %9s %9s | %-16s | %6s %6d %8.2f %9s %9s | %-16s | %6s %6d %8.2f %9s %9s | %-16s\n",
 				r.Program,
 				pht, r.Tofino.SearchBits, r.Tofino.OptSeconds,
 				fmtOrig(r.Tofino), fmtSpeedup(r.Tofino), vt,
 				phi, r.IPU.SearchBits, r.IPU.OptSeconds,
-				fmtOrig(r.IPU), fmtSpeedup(r.IPU), vi)
+				fmtOrig(r.IPU), fmtSpeedup(r.IPU), vi,
+				phf, r.FPGA.SearchBits, r.FPGA.OptSeconds,
+				fmtOrig(r.FPGA), fmtSpeedup(r.FPGA), vf)
 		} else {
-			fmt.Fprintf(&sb, "%-38s | %7s %6d %8.2f | %-16s | %7s %6d %8.2f | %-16s\n",
+			fmt.Fprintf(&sb, "%-38s | %7s %6d %8.2f | %-16s | %7s %6d %8.2f | %-16s | %7s %6d %8.2f | %-16s\n",
 				r.Program,
 				pht, r.Tofino.SearchBits, r.Tofino.OptSeconds, vt,
-				phi, r.IPU.SearchBits, r.IPU.OptSeconds, vi)
+				phi, r.IPU.SearchBits, r.IPU.OptSeconds, vi,
+				phf, r.FPGA.SearchBits, r.FPGA.OptSeconds, vf)
 		}
 	}
 	return sb.String()

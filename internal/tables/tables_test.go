@@ -159,13 +159,15 @@ func TestSummarize(t *testing.T) {
 			VendorTofino: TargetResult{Entries: 6},
 			IPU:          TargetResult{Stages: 2, OptSeconds: 1, OrigSeconds: 40, Speedup: 40},
 			VendorIPU:    TargetResult{Err: "parser loop"},
+			FPGA:         TargetResult{Stages: 3, OptSeconds: 1, OrigSeconds: 20, Speedup: 20},
+			VendorFPGA:   TargetResult{Stages: 5},
 		},
 	}
 	s := Summarize(rows)
-	if s.Cases != 2 || s.ParserHawkOK != 2 {
+	if s.Cases != 3 || s.ParserHawkOK != 3 {
 		t.Errorf("cases=%d ok=%d", s.Cases, s.ParserHawkOK)
 	}
-	if s.VendorRejects != 1 || s.VendorSuboptimal != 1 {
+	if s.VendorRejects != 1 || s.VendorSuboptimal != 2 {
 		t.Errorf("rejects=%d subopt=%d", s.VendorRejects, s.VendorSuboptimal)
 	}
 	if s.GeomeanSpeedup < 19.9 || s.GeomeanSpeedup > 20.1 {

@@ -142,6 +142,108 @@ func CompileIPU(spec *pir.Spec, profile hw.Profile) (*Result, error) {
 	return &Result{Program: prog, Entries: res.Entries, Stages: stages}, nil
 }
 
+// CompileStreaming models an HLS-style FPGA streaming-parser generator:
+// the packet arrives as a fixed window per cycle, each written state is
+// laid onto the cycle grid where its headers arrive, and a state whose
+// extraction exceeds one window stalls the pipeline for extra cycles. Like
+// the other vendor models it translates the written form literally — no
+// state merging, no key splitting, no loop unrolling — so wide keys, loops,
+// and over-deep written graphs are rejected rather than rewritten. The
+// reported Stages is the pipeline depth in cycles (the latency the paper's
+// FPGA baseline optimizes), not the count of occupied tables.
+func CompileStreaming(spec *pir.Spec, profile hw.Profile) (*Result, error) {
+	if spec.HasLoop() {
+		return nil, ErrParserLoop
+	}
+	prog, err := literalTranslate(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := prog.Resources()
+	if res.MaxKeyWidth > profile.KeyLimit {
+		return nil, fmt.Errorf("%w: %d bits > %d", ErrWideKey, res.MaxKeyWidth, profile.KeyLimit)
+	}
+	for i := range prog.States {
+		if len(prog.States[i].Entries) > profile.TCAMLimit {
+			return nil, fmt.Errorf("%w: %d > %d per cycle", ErrTooManyTCAM, len(prog.States[i].Entries), profile.TCAMLimit)
+		}
+	}
+
+	// Cycle slots: a written state occupies ⌈fixed-extract-bits/window⌉
+	// cycles (minimum one); varbit tails are streamed by dedicated
+	// shift-register logic and do not lengthen the match pipeline.
+	slots := make([]int, len(spec.States))
+	for i := range spec.States {
+		bits := 0
+		for _, e := range spec.States[i].Extracts {
+			f, _ := spec.Field(e.Field)
+			if f.Var {
+				continue
+			}
+			bits += f.Width
+		}
+		slots[i] = 1
+		if profile.WindowBits > 0 {
+			if n := (bits + profile.WindowBits - 1) / profile.WindowBits; n > slots[i] {
+				slots[i] = n
+			}
+		}
+	}
+
+	// Weighted longest path from the start state: each state begins the
+	// cycle after its deepest predecessor finishes all of its slots.
+	begin := make([]int, len(spec.States))
+	queue := []int{0}
+	relax := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if relax++; relax > len(spec.States)*len(spec.States)+1 {
+			return nil, ErrParserLoop // cycle guard; HasLoop should have caught it
+		}
+		st := &spec.States[i]
+		push := func(t pir.Target) {
+			if t.Kind != pir.ToState {
+				return
+			}
+			if d := begin[i] + slots[i]; d > begin[t.State] {
+				begin[t.State] = d
+				queue = append(queue, t.State)
+			}
+		}
+		for _, r := range st.Rules {
+			push(r.Next)
+		}
+		push(st.Default)
+	}
+	depth := 0
+	for i := range spec.States {
+		if begin[i]+slots[i] > depth {
+			depth = begin[i] + slots[i]
+		}
+	}
+	if depth > profile.StageLimit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyStage, depth, profile.StageLimit)
+	}
+
+	// Materialize cycle numbers on the program.
+	remap := map[int]tcam.Target{}
+	for i := range prog.States {
+		remap[prog.States[i].ID] = tcam.To(begin[i], prog.States[i].ID)
+	}
+	for i := range prog.States {
+		prog.States[i].Table = begin[i]
+		for ei := range prog.States[i].Entries {
+			n := prog.States[i].Entries[ei].Next
+			if n.Kind == tcam.ToState {
+				prog.States[i].Entries[ei].Next = remap[n.State]
+			}
+		}
+	}
+	res = prog.Resources()
+	return &Result{Program: prog, Entries: res.Entries, Stages: depth}, nil
+}
+
 // writtenDepths computes each written state's depth from the start state.
 func writtenDepths(spec *pir.Spec) ([]int, int, error) {
 	depth := make([]int, len(spec.States))

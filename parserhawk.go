@@ -126,6 +126,10 @@ func NaiveOptions() Options { return core.NaiveOptions() }
 // are the scarce resource).
 func Tofino() Profile { return hw.Tofino() }
 
+// FPGA returns the streaming-pipeline profile (fixed words-per-cycle
+// window, forward-only, depth is the scarce resource).
+func FPGA() Profile { return hw.FPGAStreaming() }
+
 // IPU returns the pipelined-TCAM-tables profile (forward-only, stages are
 // the scarce resource).
 func IPU() Profile { return hw.IPU() }
