@@ -25,6 +25,7 @@ import (
 
 	"parserhawk"
 	"parserhawk/internal/benchdata"
+	"parserhawk/internal/memo"
 	"parserhawk/internal/tables"
 )
 
@@ -43,6 +44,9 @@ func main() {
 		fresh       = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
 		workers     = flag.Int("workers", 0, "portfolio goroutines inside each compilation (0 = GOMAXPROCS, 1 = sequential compiler)")
 		noExchange  = flag.Bool("no-exchange", false, "disable the portfolio's learnt-clause exchange (A/B measurement)")
+		memoDir     = flag.String("memo-dir", "", "persist the cross-compile memo under this directory (warm-starts later runs)")
+		noMemo      = flag.Bool("no-memo", false, "disable the cross-compile memo even when -memo-dir is set")
+		alias       = flag.Bool("alias", false, "run Table 3 over the field/state-renamed alias corpus (memo hit-rate measurement)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -88,12 +92,29 @@ func main() {
 	if *statsOut != "" {
 		cfg.StatsSink = func(r tables.RunStats) { runs = append(runs, r) }
 	}
+	if *memoDir != "" && !*noMemo {
+		mc, err := memo.Open(*memoDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Memo = mc
+	}
+
+	table3 := tables.Table3
+	if *alias {
+		table3 = tables.Table3Alias
+	}
 
 	did := false
 	if *all || *table == 3 || *summary {
 		did = true
-		fmt.Println("== Table 3: ParserHawk vs Tofino and IPU compilers ==")
-		rows := tables.Table3(cfg)
+		if *alias {
+			fmt.Println("== Table 3 (alias corpus): ParserHawk vs Tofino and IPU compilers ==")
+		} else {
+			fmt.Println("== Table 3: ParserHawk vs Tofino and IPU compilers ==")
+		}
+		rows := table3(cfg)
 		fmt.Print(tables.FormatTable3(rows, cfg.RunOrig))
 		if *summary || *all {
 			fmt.Println("\n== §7 summary statistics ==")

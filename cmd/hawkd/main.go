@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"parserhawk/internal/memo"
 	"parserhawk/internal/serve"
 )
 
@@ -61,6 +62,8 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", 10*time.Minute, "ceiling on the ?timeout= a request may ask for")
 		compileTimeout = flag.Duration("compile-timeout", 5*time.Minute, "server-side bound on a single compilation")
 		workers        = flag.Int("workers", 0, "portfolio worker tokens shared across requests (0 = GOMAXPROCS)")
+		memoDir        = flag.String("memo-dir", "", "persist the cross-compile memo under this directory (survives restarts)")
+		noMemo         = flag.Bool("no-memo", false, "disable the cross-compile memo even when -memo-dir is set")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -69,14 +72,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		DefaultProfile: *defaultProfile,
 		CacheBytes:     *cacheBytes,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		CompileTimeout: *compileTimeout,
 		Workers:        *workers,
-	})
+	}
+	if *memoDir != "" && !*noMemo {
+		mc, err := memo.Open(*memoDir)
+		if err != nil {
+			log.Fatalf("hawkd: %v", err)
+		}
+		cfg.Memo = mc
+	}
+	srv := serve.New(cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

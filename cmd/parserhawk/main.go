@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 
 	"parserhawk"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/memo"
 	"parserhawk/internal/tables"
 )
 
@@ -65,6 +67,8 @@ func main() {
 		fresh      = flag.Bool("fresh-encode", false, "disable incremental solving sessions (re-encode every budget rung)")
 		workers    = flag.Int("workers", 0, "portfolio goroutines for skeleton ladders and refuter probes (0 = GOMAXPROCS, 1 = sequential)")
 		noExchange = flag.Bool("no-exchange", false, "disable the portfolio's learnt-clause exchange between ladders and probes")
+		memoDir    = flag.String("memo-dir", "", "persist the cross-compile memo under this directory (warm-starts later compiles)")
+		noMemo     = flag.Bool("no-memo", false, "disable the cross-compile memo even when -memo-dir is set")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -169,7 +173,17 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := parserhawk.Compile(spec, profile, opts)
+	var res *parserhawk.Result
+	if *memoDir != "" && !*noMemo {
+		mc, merr := memo.Open(*memoDir)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(1)
+		}
+		res, err = mc.CompileContext(context.Background(), spec, profile, opts)
+	} else {
+		res, err = parserhawk.Compile(spec, profile, opts)
+	}
 	if *dimacsDir != "" {
 		if werr := hardest.write(*dimacsDir, spec.Name); werr != nil {
 			fmt.Fprintln(os.Stderr, werr)

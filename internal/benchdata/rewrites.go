@@ -300,3 +300,57 @@ func popcount(v uint64) int {
 	}
 	return n
 }
+
+// aliasRename produces a same-canonical-form alias of a spec: every field
+// and state renamed positionally, and each rule's value salted with
+// garbage bits outside its mask (matching ignores them). Semantics are
+// untouched — the cross-compile memo's canonicalizer must map compiles of
+// the alias back onto cached results for the original.
+func aliasRename(spec *pir.Spec) *pir.Spec {
+	fieldRen := make(map[string]string, len(spec.Fields))
+	fields := make([]pir.Field, len(spec.Fields))
+	for i, f := range spec.Fields {
+		n := fmt.Sprintf("alias_f%d", i)
+		fieldRen[f.Name] = n
+		fields[i] = pir.Field{Name: n, Width: f.Width, Var: f.Var}
+	}
+	states := cloneStates(spec)
+	for i := range states {
+		states[i].Name = fmt.Sprintf("alias_q%d", i)
+		for j := range states[i].Extracts {
+			x := &states[i].Extracts[j]
+			x.Field = fieldRen[x.Field]
+			if x.LenField != "" {
+				x.LenField = fieldRen[x.LenField]
+			}
+		}
+		for j := range states[i].Key {
+			if !states[i].Key[j].Lookahead {
+				states[i].Key[j].Field = fieldRen[states[i].Key[j].Field]
+			}
+		}
+		for j := range states[i].Rules {
+			r := &states[i].Rules[j]
+			r.Value |= ^r.Mask & widthMask(16)
+		}
+	}
+	out, err := pir.New(spec.Name, fields, states)
+	if err != nil {
+		panic(fmt.Sprintf("benchdata: alias rewrite produced invalid spec: %v", err))
+	}
+	return out
+}
+
+// Alias returns the Table 3 suite with every spec passed through
+// aliasRename: same benchmark names, same semantics, different surface
+// text. A memo populated by a run of All() should serve most of an
+// Alias() run from tier-1 alias hits.
+func Alias() []Benchmark {
+	base := All()
+	out := make([]Benchmark, len(base))
+	for i, b := range base {
+		out[i] = Benchmark{Family: b.Family, Variant: b.Variant,
+			Spec: aliasRename(b.Spec), MaxIterations: b.MaxIterations}
+	}
+	return out
+}

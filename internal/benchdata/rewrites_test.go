@@ -116,3 +116,35 @@ func TestMutatorsProduceValidSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestAliasSuitePreservesCanonicalForm pins the property the memo
+// hit-rate measurement relies on: every Alias() spec canonicalizes to
+// exactly the same text as its All() counterpart, while its surface text
+// differs (so a hit must come through the canonicalizer, not string
+// equality).
+func TestAliasSuitePreservesCanonicalForm(t *testing.T) {
+	base, alias := All(), Alias()
+	if len(base) != len(alias) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(base), len(alias))
+	}
+	for i := range base {
+		if got, want := alias[i].Name(), base[i].Name(); got != want {
+			t.Fatalf("benchmark %d renamed: %q vs %q", i, got, want)
+		}
+		bc, _, err := pir.Canonicalize(base[i].Spec)
+		if err != nil {
+			t.Fatalf("%s: canonicalize base: %v", base[i].Name(), err)
+		}
+		ac, _, err := pir.Canonicalize(alias[i].Spec)
+		if err != nil {
+			t.Fatalf("%s: canonicalize alias: %v", base[i].Name(), err)
+		}
+		if bc.String() != ac.String() {
+			t.Errorf("%s: alias canonical form diverged:\nbase:\n%s\nalias:\n%s",
+				base[i].Name(), bc, ac)
+		}
+		if base[i].Spec.String() == alias[i].Spec.String() {
+			t.Errorf("%s: alias surface text identical to base", base[i].Name())
+		}
+	}
+}

@@ -174,6 +174,15 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 		return !opts.ExhaustPortfolio && minLB > 0 && objective.Cost(r.Resources) <= minLB
 	}
 
+	// Cross-compile memo keys (tier 2: skeleton-UNSAT facts; tier 3: glue
+	// clause pools). Computed once per compile; nil when no memo is
+	// attached or the spec resists canonicalization, in which case the
+	// portfolio runs exactly as it would without a memo.
+	var memoK *memoKeys
+	if opts.Memo != nil {
+		memoK = computeMemoKeys(effSynth, synthSks, profile, opts)
+	}
+
 	raceCtx, cancelRace := context.WithCancel(ctx)
 	defer cancelRace()
 
@@ -192,15 +201,28 @@ func CompileContext(ctx context.Context, spec *pir.Spec, profile hw.Profile, opt
 			profile: profile, opts: opts,
 			workers:          effectiveWorkers(opts),
 			provablyCheapest: provablyCheapest,
+			memo:             opts.Memo, keys: memoK,
 		})
 	} else {
 		// Sequential portfolio (single-CPU machines, or Opt7 disabled):
 		// every structural subproblem still runs — chunk-check order alone
 		// can change the entry count (Figure 4's V1 vs V2) — unless one
 		// reaches the portfolio lower bound, which no later subproblem can
-		// improve on.
+		// improve on. A tier-2 memo hit recalls a ladder's ErrNoSolution
+		// without running it; the verdict is identical because the recorded
+		// fact (solver UNSAT at the cap) is exactly what forces that ladder
+		// to ErrNoSolution.
 		for i := range origSks {
-			r, solver, err := compileSkeleton(raceCtx, spec, effOrig, effSynth, &origSks[i], &synthSks[i], profile, opts)
+			if memoK != nil && memoK.tier2[i] != "" && opts.Memo.SkeletonUnsat(memoK.tier2[i]) {
+				outs = append(outs, attemptOut{err: ErrNoSolution})
+				stats.Portfolio.SkeletonsMemoSkipped++
+				continue
+			}
+			eng, low, capN := newSkeletonEngine(spec, effOrig, effSynth, &origSks[i], &synthSks[i], profile, opts)
+			r, solver, err := eng.runLadder(raceCtx, low, capN)
+			if memoK != nil && memoK.tier2[i] != "" && errors.Is(err, ErrNoSolution) && eng.capUnsat {
+				opts.Memo.RecordSkeletonUnsat(memoK.tier2[i])
+			}
 			o := attemptOut{res: r, solver: solver, err: err}
 			outs = append(outs, o)
 			if o.err == nil && provablyCheapest(o.res) {
@@ -457,6 +479,14 @@ type skeletonEngine struct {
 	debug                   bool
 	synthStart              time.Time
 
+	// capUnsat is set when the ladder exhausted every rung and the cap rung
+	// itself climbed via a genuine solver UNSAT: the ensuing ErrNoSolution
+	// is then a seed-independent fact about (spec, skeleton, cap) that the
+	// tier-2 memo may record. A cap rung rejected by device validation
+	// leaves it false — that verdict depends on which model the solver
+	// happened to find.
+	capUnsat bool
+
 	// exchange, when non-nil, is this skeleton's portfolio clause pool. The
 	// authoritative ladder session attaches export-only: it publishes the
 	// glue clauses it learns (tagged with its example epoch) but never
@@ -538,6 +568,11 @@ type rungResult struct {
 	res    *Result
 	err    error
 	stats  Stats
+	// unsat marks an errBudgetTooSmall produced by a genuine solver UNSAT
+	// (no table at this budget exists), as opposed to one produced by a
+	// device-validation failure of a found model — only the former is a
+	// seed-independent fact the tier-2 memo may record.
+	unsat bool
 }
 
 // sequentialLadder is the classic iterative-deepening loop of the
@@ -558,6 +593,9 @@ func (eng *skeletonEngine) sequentialLadder(ctx context.Context, env *budgetEnv,
 			continue
 		}
 		return nil, sumSolver(collected), r.err
+	}
+	if n := len(collected); n > 0 && collected[n-1].unsat {
+		eng.capUnsat = true
 	}
 	return nil, sumSolver(collected), ErrNoSolution
 }
@@ -588,6 +626,9 @@ func (eng *skeletonEngine) incrementalLadder(ctx context.Context, env *budgetEnv
 			continue
 		}
 		return nil, sumSolver(collected), r.err
+	}
+	if n := len(collected); n > 0 && collected[n-1].unsat {
+		eng.capUnsat = true
 	}
 	return nil, sumSolver(collected), ErrNoSolution
 }
@@ -942,6 +983,7 @@ func (eng *skeletonEngine) runBudget(ctx context.Context, budget int, env *budge
 		}
 		if status == sat.Unsat {
 			out.stats.Iterations = append(out.stats.Iterations, iter)
+			out.unsat = true
 			return fin(errBudgetTooSmall) // budget too small; climb the ladder
 		}
 		if status == sat.Unknown {

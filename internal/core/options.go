@@ -130,6 +130,17 @@ type Options struct {
 
 	// Seed makes test-case generation deterministic.
 	Seed int64
+
+	// Memo, when non-nil, connects the compile to a cross-compile memo
+	// cache (internal/memo): the portfolio consults tier-2 skeleton
+	// UNSAT-at-cap facts before starting a ladder and seeds each
+	// skeleton's clause pool with tier-3 glue clauses recorded by an
+	// identical earlier compile. Outcome-invariant and excluded from
+	// Fingerprint: a tier-2 fact only skips a ladder whose ErrNoSolution
+	// verdict is already proven (same rule as a refuter kill), and tier-3
+	// seeds flow through the exchange's existing import path, which the
+	// authoritative ladders never read.
+	Memo Memo
 }
 
 // DefaultOptions returns the paper's OPT configuration: every optimization
@@ -325,6 +336,11 @@ type PortfolioStats struct {
 	// bound — the shared best-cost bound's provably-cheapest rule, the one
 	// domination test that is schedule-invariant (see portfolio.go).
 	SkeletonsDominated int `json:"skeletons_dominated"`
+	// SkeletonsMemoSkipped counts skeletons never started because the
+	// memo cache (Options.Memo) held a tier-2 UNSAT-at-cap fact for their
+	// canonical key — the same ErrNoSolution verdict a refuter kill or the
+	// ladder itself would have produced, recalled instead of re-proven.
+	SkeletonsMemoSkipped int `json:"skeletons_memo_skipped,omitempty"`
 	// RefuterEffort totals the refuter probes' solver work. It is folded
 	// into Stats.Solver, so compile-wide totals stay honest.
 	RefuterEffort SolverStats `json:"refuter_effort"`
@@ -334,6 +350,9 @@ type PortfolioStats struct {
 	ExchangePublished int64 `json:"exchange_published"`
 	ExchangeCollected int64 `json:"exchange_collected"`
 	ExchangeDropped   int64 `json:"exchange_dropped"`
+	// ExchangeSeeded counts clauses injected into the pools from the memo
+	// cache's tier-3 records before any solver ran.
+	ExchangeSeeded int64 `json:"exchange_seeded,omitempty"`
 }
 
 // QueryDump is one captured SAT query for offline debugging: the DIMACS

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"parserhawk/internal/hw"
@@ -59,6 +60,12 @@ type portfolioInput struct {
 	opts                    Options
 	workers                 int
 	provablyCheapest        func(*Result) bool
+
+	// memo/keys, when both non-nil, enable the cross-compile tiers: keys
+	// holds one tier-2 and one tier-3 key per skeleton (empty string =
+	// unkeyable, skip memoization for that skeleton). See internal/core/memo.go.
+	memo Memo
+	keys *memoKeys
 }
 
 type skelPhase int
@@ -127,9 +134,27 @@ func runPortfolio(ctx context.Context, in portfolioInput) ([]attemptOut, Portfol
 		p.engs[i], p.lows[i], p.caps[i] = newSkeletonEngine(
 			in.spec, in.effOrig, in.effSynth, &in.origSks[i], &in.synthSks[i], in.profile, in.opts)
 		p.ctxs[i], p.cancels[i] = context.WithCancel(ctx)
+		// Tier-2 memo hit: a previous compile proved this skeleton's cap
+		// rung solver-UNSAT, so its ladder can only end in ErrNoSolution —
+		// record that verdict without starting it. The attempt set (and
+		// hence the reduction) is identical to the un-memoized run.
+		if p.memoKey(i, tierUnsat) != "" && in.memo.SkeletonUnsat(p.memoKey(i, tierUnsat)) {
+			p.phase[i] = skelDone
+			p.outs[i] = &attemptOut{err: ErrNoSolution}
+			p.pendingN--
+			p.stats.SkeletonsMemoSkipped++
+			continue
+		}
 		if !in.opts.NoExchange && !in.opts.FreshEncode {
 			p.pools[i] = sat.NewExchange(0)
 			p.engs[i].exchange = p.pools[i]
+			// Tier-3 warm start: seed the pool with glue clauses a previous
+			// run of this exact formula exported. Ladders attach export-only,
+			// so seeding only ever accelerates refuter probes — the
+			// authoritative search is untouched.
+			if key := p.memoKey(i, tierGlue); key != "" {
+				p.pools[i].Seed(in.memo.GlueClauses(key))
+			}
 		}
 	}
 
@@ -180,13 +205,49 @@ func runPortfolio(ctx context.Context, in portfolioInput) ([]attemptOut, Portfol
 			outs = append(outs, *p.outs[i])
 		}
 	}
-	for _, pool := range p.pools {
+	for i, pool := range p.pools {
 		st := pool.Stats()
 		p.stats.ExchangePublished += st.Published
 		p.stats.ExchangeCollected += st.Collected
 		p.stats.ExchangeDropped += st.Dropped
+		p.stats.ExchangeSeeded += st.Seeded
+		// Tier-3 store: persist the clauses this run learned at or below the
+		// seed-example epoch — the only ones a future run's consumers are
+		// guaranteed to have the examples for.
+		if key := p.memoKey(i, tierGlue); key != "" {
+			if cls := pool.Export(seedExampleCount); len(cls) > 0 {
+				in.memo.RecordGlueClauses(key, cls)
+			}
+		}
 	}
 	return outs, p.stats
+}
+
+// Memo tier selectors for memoKey.
+const (
+	tierUnsat = 2
+	tierGlue  = 3
+)
+
+// memoKey returns skeleton i's key in the given memo tier, or "" when
+// memoization does not apply (no memo attached, spec unkeyable, or the
+// skeleton itself unkeyable).
+func (p *portfolio) memoKey(i int, tier int) string {
+	if p.in.memo == nil || p.in.keys == nil {
+		return ""
+	}
+	if tier == tierUnsat {
+		return p.in.keys.tier2[i]
+	}
+	return p.in.keys.tier3[i]
+}
+
+// recordUnsat files skeleton idx's proven cap-level UNSAT in the tier-2
+// memo. Lock may be held; the memo synchronizes itself.
+func (p *portfolio) recordUnsat(idx int) {
+	if key := p.memoKey(idx, tierUnsat); key != "" {
+		p.in.memo.RecordSkeletonUnsat(key)
+	}
 }
 
 type jobKind int
@@ -302,6 +363,8 @@ func (p *portfolio) runLadder(idx int) {
 		p.outs[idx] = &attemptOut{res: res, solver: solver, err: err}
 		if err == nil {
 			p.onSuccess(idx, res)
+		} else if errors.Is(err, ErrNoSolution) && eng.capUnsat {
+			p.recordUnsat(idx)
 		}
 	}
 	p.cond.Broadcast()
@@ -361,6 +424,9 @@ func (p *portfolio) runRefuter(idx, ord int) {
 				p.outs[idx] = &attemptOut{err: ErrNoSolution}
 			}
 			p.cancels[idx]()
+			// A refuter kill is a genuine solver UNSAT at the cap (strict
+			// DRAT-checked when proofs are on) — exactly the tier-2 fact.
+			p.recordUnsat(idx)
 		}
 	}
 	p.cond.Broadcast()

@@ -1,0 +1,274 @@
+// Package memo is ParserHawk's cross-compile memoization layer: a
+// three-tier, optionally disk-backed cache keyed by canonical spec hashes
+// (internal/pir's Canonicalize), so that alias specs — renamed states,
+// reordered rules, shifted field layouts — share cached work.
+//
+//   - Tier 1 memoizes whole compiles per (canonical spec, profile
+//     fingerprint, options fingerprint). An exact hit (same spec text)
+//     replays the stored program, certificate, and verdict byte-for-byte.
+//     An alias hit (same canonical form, different text) re-names the
+//     stored program's fields through the two isomorphism witnesses and
+//     re-validates it by sampling before serving it.
+//   - Tier 2 memoizes per-skeleton UNSAT-at-cap facts, letting the
+//     portfolio skip entire budget ladders (see core.Memo).
+//   - Tier 3 memoizes per-skeleton glue-clause pools, seeded into
+//     sat.Exchange on exact replays to warm-start refuter probes.
+//
+// Disk persistence is content-addressed: one file per entry under the
+// cache directory, written via temp-file + atomic rename, integrity-guarded
+// by a leading SHA-256 line. Corrupt or truncated entries are counted and
+// treated as misses — a poisoned cache degrades to a cold compile, never
+// to a wrong answer.
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"parserhawk/internal/sat"
+)
+
+// Stats counts the cache's traffic. Hits are split by kind for tier 1
+// (exact replays vs witness-renamed alias replays); Corrupt counts disk
+// entries rejected by the integrity check; CanonNanos is wall time spent
+// canonicalizing specs for key computation.
+type Stats struct {
+	T1Hits      int64 `json:"t1_hits"`
+	T1AliasHits int64 `json:"t1_alias_hits"`
+	T1Misses    int64 `json:"t1_misses"`
+	T1Stores    int64 `json:"t1_stores"`
+	T2Hits      int64 `json:"t2_hits"`
+	T2Misses    int64 `json:"t2_misses"`
+	T2Stores    int64 `json:"t2_stores"`
+	T3Hits      int64 `json:"t3_hits"`
+	T3Misses    int64 `json:"t3_misses"`
+	T3Stores    int64 `json:"t3_stores"`
+
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Corrupt      int64 `json:"corrupt"`
+	CanonNanos   int64 `json:"canon_nanos"`
+}
+
+// Sub returns the counter movement from o to s.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		T1Hits: s.T1Hits - o.T1Hits, T1AliasHits: s.T1AliasHits - o.T1AliasHits,
+		T1Misses: s.T1Misses - o.T1Misses, T1Stores: s.T1Stores - o.T1Stores,
+		T2Hits: s.T2Hits - o.T2Hits, T2Misses: s.T2Misses - o.T2Misses, T2Stores: s.T2Stores - o.T2Stores,
+		T3Hits: s.T3Hits - o.T3Hits, T3Misses: s.T3Misses - o.T3Misses, T3Stores: s.T3Stores - o.T3Stores,
+		BytesRead: s.BytesRead - o.BytesRead, BytesWritten: s.BytesWritten - o.BytesWritten,
+		Corrupt: s.Corrupt - o.Corrupt, CanonNanos: s.CanonNanos - o.CanonNanos,
+	}
+}
+
+// Cache is the three-tier memo store. The zero value is not usable; a nil
+// *Cache is, and behaves as a disabled cache (every operation is a
+// transparent no-op), so callers can thread an optional cache without
+// guards. All methods are safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu    sync.Mutex
+	t1    map[string]*t1Entry
+	t2    map[string]bool
+	t3    map[string][]sat.SeedClause
+	stats Stats
+}
+
+// Open returns a cache persisted under dir, creating the directory if
+// needed. Open("") returns a memory-only cache (still useful: repeated
+// compiles within one process share all three tiers).
+func Open(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memo: %w", err)
+		}
+	}
+	return &Cache{
+		dir: dir,
+		t1:  make(map[string]*t1Entry),
+		t2:  make(map[string]bool),
+		t3:  make(map[string][]sat.SeedClause),
+	}, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// addCanon accounts canonicalization wall time.
+func (c *Cache) addCanon(d time.Duration) {
+	c.mu.Lock()
+	c.stats.CanonNanos += d.Nanoseconds()
+	c.mu.Unlock()
+}
+
+// --- core.Memo implementation (tiers 2 and 3) ---
+
+// t2Record is the persisted form of a tier-2 fact; the fact is the file's
+// existence, the body just keeps the format self-describing.
+type t2Record struct {
+	Unsat bool `json:"unsat"`
+}
+
+// SkeletonUnsat reports whether the keyed skeleton was previously proven
+// solver-UNSAT at its ladder cap.
+func (c *Cache) SkeletonUnsat(key string) bool {
+	if c == nil || key == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t2[key] {
+		c.stats.T2Hits++
+		return true
+	}
+	var rec t2Record
+	if c.readEntry("t2", key, &rec) && rec.Unsat {
+		c.t2[key] = true
+		c.stats.T2Hits++
+		return true
+	}
+	c.stats.T2Misses++
+	return false
+}
+
+// RecordSkeletonUnsat files a proven UNSAT-at-cap fact.
+func (c *Cache) RecordSkeletonUnsat(key string) {
+	if c == nil || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t2[key] {
+		return
+	}
+	c.t2[key] = true
+	c.stats.T2Stores++
+	c.writeEntry("t2", key, t2Record{Unsat: true})
+}
+
+// t3Record is the persisted form of a tier-3 clause pool.
+type t3Record struct {
+	Clauses []sat.SeedClause `json:"clauses"`
+}
+
+// GlueClauses returns the keyed skeleton's persisted glue-clause pool, or
+// nil when none is stored.
+func (c *Cache) GlueClauses(key string) []sat.SeedClause {
+	if c == nil || key == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cls, ok := c.t3[key]; ok {
+		c.stats.T3Hits++
+		return cls
+	}
+	var rec t3Record
+	if c.readEntry("t3", key, &rec) && len(rec.Clauses) > 0 {
+		c.t3[key] = rec.Clauses
+		c.stats.T3Hits++
+		return rec.Clauses
+	}
+	c.stats.T3Misses++
+	return nil
+}
+
+// RecordGlueClauses stores a skeleton's exported pool. First write wins:
+// the key pins the exact formula, so later runs of it learn comparable
+// clauses and rewriting buys nothing.
+func (c *Cache) RecordGlueClauses(key string, clauses []sat.SeedClause) {
+	if c == nil || key == "" || len(clauses) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.t3[key]; ok {
+		return
+	}
+	c.t3[key] = clauses
+	c.stats.T3Stores++
+	c.writeEntry("t3", key, t3Record{Clauses: clauses})
+}
+
+// --- disk layer ---
+
+// entryPath is the content-addressed location of one cache entry.
+func (c *Cache) entryPath(kind, key string) string {
+	return filepath.Join(c.dir, kind+"-"+key+".json")
+}
+
+// readEntry loads and integrity-checks one disk entry into v. Any failure
+// — absent file, truncated write, flipped bit, bad JSON — is a miss; a
+// failure past the existence check also counts as Corrupt. Lock held.
+func (c *Cache) readEntry(kind, key string, v any) bool {
+	if c.dir == "" {
+		return false
+	}
+	data, err := os.ReadFile(c.entryPath(kind, key))
+	if err != nil {
+		return false
+	}
+	c.stats.BytesRead += int64(len(data))
+	nl := bytes.IndexByte(data, '\n')
+	if nl != sha256.Size*2 {
+		c.stats.Corrupt++
+		return false
+	}
+	sum := sha256.Sum256(data[nl+1:])
+	if string(data[:nl]) != hex.EncodeToString(sum[:]) {
+		c.stats.Corrupt++
+		return false
+	}
+	if err := json.Unmarshal(data[nl+1:], v); err != nil {
+		c.stats.Corrupt++
+		return false
+	}
+	return true
+}
+
+// writeEntry persists one entry: SHA-256 line, payload, temp file, atomic
+// rename. Write failures are silently dropped — the cache is an
+// accelerator, never a correctness dependency. Lock held.
+func (c *Cache) writeEntry(kind, key string, v any) {
+	if c.dir == "" {
+		return
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	data := append([]byte(hex.EncodeToString(sum[:])+"\n"), payload...)
+	tmp, err := os.CreateTemp(c.dir, "."+kind+"-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.entryPath(kind, key)); err != nil {
+		os.Remove(name)
+		return
+	}
+	c.stats.BytesWritten += int64(len(data))
+}

@@ -1,0 +1,286 @@
+package pir_test
+
+// External test package: the corpus tests pull specs through the p4
+// frontend and benchdata, both of which import pir.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parserhawk/internal/benchdata"
+	"parserhawk/internal/bitstream"
+	"parserhawk/internal/pir"
+)
+
+// randomSpec builds a small random (possibly loopy) spec. Deterministic
+// given the rng.
+func randomSpec(rng *rand.Rand) *pir.Spec {
+	nf := 2 + rng.Intn(5)
+	fields := make([]pir.Field, nf)
+	for i := range fields {
+		fields[i] = pir.Field{Name: fmt.Sprintf("field%c", 'A'+i), Width: 4 + rng.Intn(13)}
+	}
+	ns := 2 + rng.Intn(5)
+	randTarget := func() pir.Target {
+		switch rng.Intn(4) {
+		case 0:
+			return pir.AcceptTarget
+		case 1:
+			return pir.RejectTarget
+		default:
+			return pir.To(rng.Intn(ns))
+		}
+	}
+	states := make([]pir.State, ns)
+	for i := range states {
+		st := pir.State{Name: fmt.Sprintf("state%d", i), Default: randTarget()}
+		for e := rng.Intn(3); e > 0; e-- {
+			st.Extracts = append(st.Extracts, pir.Extract{Field: fields[rng.Intn(nf)].Name})
+		}
+		if rng.Intn(3) > 0 {
+			for k := 1 + rng.Intn(2); k > 0; k-- {
+				if rng.Intn(4) == 0 {
+					st.Key = append(st.Key, pir.LookaheadBits(rng.Intn(5), 1+rng.Intn(8)))
+				} else {
+					f := fields[rng.Intn(nf)]
+					lo := rng.Intn(f.Width)
+					hi := lo + 1 + rng.Intn(f.Width-lo)
+					st.Key = append(st.Key, pir.FieldSlice(f.Name, lo, hi))
+				}
+			}
+		}
+		if kw := st.KeyWidth(); kw > 0 {
+			mask := pir.ExactRule(0, kw, pir.AcceptTarget).Mask
+			for r := rng.Intn(5); r > 0; r-- {
+				m := rng.Uint64() & mask
+				st.Rules = append(st.Rules, pir.Rule{Value: rng.Uint64() & mask, Mask: m, Next: randTarget()})
+			}
+		}
+		states[i] = st
+	}
+	spec, err := pir.New(fmt.Sprintf("rand%d", rng.Intn(1<<30)), fields, states)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// checkEquivalent runs both specs on packets random packets and demands
+// observational equivalence after un-renaming the canonical dictionary
+// through the witness.
+func checkEquivalent(t *testing.T, orig, canon *pir.Spec, wit *pir.Witness, rng *rand.Rand, packets int) {
+	t.Helper()
+	nbits := orig.MaxConsumedBits(0) + 64
+	for i := 0; i < packets; i++ {
+		n := rng.Intn(nbits + 1)
+		if i == 0 {
+			n = nbits // at least one full-length packet
+		}
+		in := bitstream.Random(rng, n)
+		want := orig.Run(in, 0)
+		got := canon.Run(in, 0)
+		got.Dict = wit.OrigDict(got.Dict)
+		if !want.Same(got) {
+			t.Fatalf("packet %d (%d bits): original %+v, canonical (un-renamed) %+v\noriginal:\n%s\ncanonical:\n%s",
+				i, n, want, got, orig, canon)
+		}
+	}
+}
+
+func TestCanonicalizeEquivalentOnRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const specs, packets = 50, 200 // 10k packets total
+	for s := 0; s < specs; s++ {
+		spec := randomSpec(rng)
+		canon, wit, err := pir.Canonicalize(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v\n%s", s, err, spec)
+		}
+		checkEquivalent(t, spec, canon, wit, rng, packets)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for s := 0; s < 60; s++ {
+		spec := randomSpec(rng)
+		canon, _, err := pir.Canonicalize(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, wit, err := pir.Canonicalize(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon.String() != again.String() {
+			t.Fatalf("not idempotent:\nfirst:\n%s\nsecond:\n%s\ninput:\n%s", canon, again, spec)
+		}
+		for i, o := range wit.States {
+			if i != o {
+				t.Fatalf("second witness is not the identity on states: %v", wit.States)
+			}
+		}
+		for c, o := range wit.Fields {
+			if c != o {
+				t.Fatalf("second witness renames field %q -> %q", o, c)
+			}
+		}
+	}
+}
+
+// mutate applies a random semantics-preserving transformation: state and
+// field renaming, state reordering (start stays at index 0), unused
+// field declarations, garbage value bits outside a rule's mask,
+// swapping rule pairs whose order is irrelevant (non-overlapping or
+// same-target), and splitting a key slice into two contiguous slices.
+func mutate(spec *pir.Spec, rng *rand.Rand) *pir.Spec {
+	fields := append([]pir.Field(nil), spec.Fields...)
+	states := make([]pir.State, len(spec.States))
+	for i := range spec.States {
+		st := spec.States[i]
+		st.Extracts = append([]pir.Extract(nil), st.Extracts...)
+		st.Key = append([]pir.KeyPart(nil), st.Key...)
+		st.Rules = append([]pir.Rule(nil), st.Rules...)
+		states[i] = st
+	}
+	renameField := func(old, new string) {
+		for i := range fields {
+			if fields[i].Name == old {
+				fields[i].Name = new
+			}
+		}
+		for i := range states {
+			for e := range states[i].Extracts {
+				if states[i].Extracts[e].Field == old {
+					states[i].Extracts[e].Field = new
+				}
+				if states[i].Extracts[e].LenField == old {
+					states[i].Extracts[e].LenField = new
+				}
+			}
+			for k := range states[i].Key {
+				if !states[i].Key[k].Lookahead && states[i].Key[k].Field == old {
+					states[i].Key[k].Field = new
+				}
+			}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0: // rename every state
+		for i := range states {
+			states[i].Name = fmt.Sprintf("renamed_%d_%d", rng.Intn(1000), i)
+		}
+	case 1: // permute non-start states
+		if len(states) > 2 {
+			perm := rng.Perm(len(states) - 1)
+			inv := make([]int, len(states))
+			reordered := make([]pir.State, len(states))
+			reordered[0] = states[0]
+			inv[0] = 0
+			for n, o := range perm {
+				reordered[n+1] = states[o+1]
+				inv[o+1] = n + 1
+			}
+			re := func(t pir.Target) pir.Target {
+				if t.Kind == pir.ToState {
+					t.State = inv[t.State]
+				}
+				return t
+			}
+			for i := range reordered {
+				for r := range reordered[i].Rules {
+					reordered[i].Rules[r].Next = re(reordered[i].Rules[r].Next)
+				}
+				reordered[i].Default = re(reordered[i].Default)
+			}
+			states = reordered
+		}
+	case 2: // rename every field
+		for _, f := range append([]pir.Field(nil), fields...) {
+			renameField(f.Name, "mut_"+f.Name)
+		}
+	case 3: // declare an unused field, shuffled into the table
+		fields = append(fields, pir.Field{Name: fmt.Sprintf("unused%d", rng.Intn(1000)), Width: 1 + rng.Intn(16)})
+		rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	case 4: // garbage value bits outside the mask
+		for i := range states {
+			for r := range states[i].Rules {
+				states[i].Rules[r].Value |= rng.Uint64() &^ states[i].Rules[r].Mask
+			}
+		}
+	case 5: // swap an order-irrelevant adjacent rule pair
+		for i := range states {
+			rules := states[i].Rules
+			for j := 0; j+1 < len(rules); j++ {
+				a, b := rules[j], rules[j+1]
+				overlap := ((a.Value ^ b.Value) & a.Mask & b.Mask) == 0
+				if !overlap || a.Next == b.Next {
+					rules[j], rules[j+1] = b, a
+					break
+				}
+			}
+		}
+	case 6: // split a multi-bit key slice into two contiguous slices
+		for i := range states {
+			for k := range states[i].Key {
+				p := states[i].Key[k]
+				if !p.Lookahead && p.Hi-p.Lo >= 2 {
+					mid := p.Lo + 1 + rng.Intn(p.Hi-p.Lo-1)
+					split := []pir.KeyPart{pir.FieldSlice(p.Field, p.Lo, mid), pir.FieldSlice(p.Field, mid, p.Hi)}
+					states[i].Key = append(states[i].Key[:k], append(split, states[i].Key[k+1:]...)...)
+					break
+				}
+			}
+		}
+	}
+	out, err := pir.New(spec.Name+"_mut", fields, states)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestCanonicalizeInvariantUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for s := 0; s < 60; s++ {
+		spec := randomSpec(rng)
+		canon, _, err := pir.Canonicalize(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := spec
+		for m := 0; m < 3; m++ {
+			mut = mutate(mut, rng)
+			mcanon, _, err := pir.Canonicalize(mut)
+			if err != nil {
+				t.Fatalf("mutant: %v\n%s", err, mut)
+			}
+			if canon.String() != mcanon.String() {
+				t.Fatalf("canonical form not invariant (round %d):\noriginal spec:\n%s\nmutant:\n%s\ncanon(orig):\n%s\ncanon(mutant):\n%s",
+					m, spec, mut, canon, mcanon)
+			}
+		}
+	}
+}
+
+func TestCanonicalizeExamplesCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, b := range benchdata.All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			canon, wit, err := pir.Canonicalize(b.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEquivalent(t, b.Spec, canon, wit, rng, 50)
+			again, _, err := pir.Canonicalize(canon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if canon.String() != again.String() {
+				t.Fatal("not idempotent on corpus spec")
+			}
+		})
+	}
+}

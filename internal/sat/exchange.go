@@ -30,6 +30,7 @@ type Exchange struct {
 	published int64
 	collected int64
 	dropped   int64 // publishes refused because the pool hit capacity
+	seeded    int64 // clauses injected by Seed from a persisted pool
 	capacity  int
 }
 
@@ -111,11 +112,65 @@ func (x *Exchange) Collect(consumer, maxEpoch, maxVar int) [][]Lit {
 	return out
 }
 
+// seedOrigin is the producer id used for clauses injected by Seed. No
+// real producer uses a negative id, so seeded clauses are collectable by
+// every consumer and are never re-exported by Export.
+const seedOrigin = -1
+
+// SeedClause is an externally supplied learnt clause: the serializable
+// form used to persist a pool's glue clauses across processes.
+type SeedClause struct {
+	Epoch int   `json:"epoch"`
+	Lits  []Lit `json:"lits"`
+}
+
+// Seed injects clauses recorded by an earlier run of the identical
+// formula (same encoding, hence same variable numbering). Seeded clauses
+// obey the same epoch contract as published ones — a consumer only
+// collects a seed whose epoch it has encoded — and count against the
+// pool capacity. The literal slices are copied.
+func (x *Exchange) Seed(clauses []SeedClause) {
+	if x == nil || len(clauses) == 0 {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, c := range clauses {
+		if len(x.pool) >= x.capacity {
+			x.dropped++
+			continue
+		}
+		lits := append([]Lit(nil), c.Lits...)
+		x.pool = append(x.pool, pooledClause{origin: seedOrigin, epoch: c.Epoch, lits: lits})
+		x.seeded++
+	}
+}
+
+// Export returns a copy of every pooled clause with epoch ≤ maxEpoch
+// that was learned in this run (seeded clauses are skipped — re-storing
+// them would be redundant). The copies are safe to retain and serialize.
+func (x *Exchange) Export(maxEpoch int) []SeedClause {
+	if x == nil {
+		return nil
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []SeedClause
+	for _, p := range x.pool {
+		if p.origin == seedOrigin || p.epoch > maxEpoch {
+			continue
+		}
+		out = append(out, SeedClause{Epoch: p.epoch, Lits: append([]Lit(nil), p.lits...)})
+	}
+	return out
+}
+
 // ExchangeStats is a snapshot of the pool's traffic counters.
 type ExchangeStats struct {
 	Published int64 `json:"published"`
 	Collected int64 `json:"collected"`
 	Dropped   int64 `json:"dropped"`
+	Seeded    int64 `json:"seeded,omitempty"`
 }
 
 // Stats returns the pool's cumulative traffic counters.
@@ -125,5 +180,5 @@ func (x *Exchange) Stats() ExchangeStats {
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return ExchangeStats{Published: x.published, Collected: x.collected, Dropped: x.dropped}
+	return ExchangeStats{Published: x.published, Collected: x.collected, Dropped: x.dropped, Seeded: x.seeded}
 }

@@ -195,4 +195,30 @@ func (s *Server) writeMetrics(w io.Writer) {
 	m.sample("hawkd_exchange_collected_total", collected)
 	m.family("hawkd_exchange_dropped_total", "counter", "Exchange publishes refused at pool capacity.")
 	m.sample("hawkd_exchange_dropped_total", dropped)
+
+	m.family("hawkd_cache_key_fallback_total", "counter", "Cache keys derived from fallback text (pretty-printed or raw source) because canonicalization failed.")
+	m.sample("hawkd_cache_key_fallback_total", s.cacheKeyFallback.value())
+
+	if s.cfg.Memo != nil {
+		ms := s.cfg.Memo.Stats()
+		m.family("hawkd_memo_tier_hits_total", "counter", "Cross-compile memo hits by tier (tier 1 split into exact and alias replays).")
+		m.labeled("hawkd_memo_tier_hits_total", "tier", "1", ms.T1Hits)
+		m.labeled("hawkd_memo_tier_hits_total", "tier", "1_alias", ms.T1AliasHits)
+		m.labeled("hawkd_memo_tier_hits_total", "tier", "2", ms.T2Hits)
+		m.labeled("hawkd_memo_tier_hits_total", "tier", "3", ms.T3Hits)
+		m.family("hawkd_memo_tier_misses_total", "counter", "Cross-compile memo misses by tier.")
+		m.labeled("hawkd_memo_tier_misses_total", "tier", "1", ms.T1Misses)
+		m.labeled("hawkd_memo_tier_misses_total", "tier", "2", ms.T2Misses)
+		m.labeled("hawkd_memo_tier_misses_total", "tier", "3", ms.T3Misses)
+		m.family("hawkd_memo_tier_stores_total", "counter", "Cross-compile memo entries stored by tier.")
+		m.labeled("hawkd_memo_tier_stores_total", "tier", "1", ms.T1Stores)
+		m.labeled("hawkd_memo_tier_stores_total", "tier", "2", ms.T2Stores)
+		m.labeled("hawkd_memo_tier_stores_total", "tier", "3", ms.T3Stores)
+		m.family("hawkd_memo_bytes_read_total", "counter", "Bytes read from the memo directory.")
+		m.sample("hawkd_memo_bytes_read_total", ms.BytesRead)
+		m.family("hawkd_memo_bytes_written_total", "counter", "Bytes written to the memo directory.")
+		m.sample("hawkd_memo_bytes_written_total", ms.BytesWritten)
+		m.family("hawkd_memo_corrupt_total", "counter", "Memo entries rejected by the integrity check and treated as misses.")
+		m.sample("hawkd_memo_corrupt_total", ms.Corrupt)
+	}
 }

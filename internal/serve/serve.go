@@ -39,6 +39,7 @@ import (
 
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/memo"
 	"parserhawk/internal/p4"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/tables"
@@ -88,6 +89,11 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes bounds a request body (default 4 MiB).
 	MaxBodyBytes int64
+	// Memo, when set, routes compilations through the cross-compile memo
+	// cache (internal/memo): whole-compile replays, skeleton-UNSAT facts,
+	// and glue-clause warm starts shared across restarts via -memo-dir.
+	// The server's own LRU still fronts it at response granularity.
+	Memo *memo.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -226,13 +232,14 @@ type Server struct {
 	// compile with controlled timing.
 	compileFn func(ctx context.Context, spec *pir.Spec, profile hw.Profile, opts core.Options) (*core.Result, error)
 
-	requests        counter
-	compiles        counter
-	coalesced       counter
-	deadlineExpired counter
-	certChecked     counter
-	certFailed      counter
-	inflight        atomic.Int64
+	requests         counter
+	compiles         counter
+	coalesced        counter
+	deadlineExpired  counter
+	certChecked      counter
+	certFailed       counter
+	cacheKeyFallback counter
+	inflight         atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -246,6 +253,9 @@ func New(cfg Config) *Server {
 		sched:     newScheduler(cfg.Workers),
 		agg:       newAggregates(),
 		compileFn: core.CompileContext,
+	}
+	if cfg.Memo != nil {
+		s.compileFn = cfg.Memo.CompileContext
 	}
 	for _, p := range cfg.Profiles {
 		if _, ok := s.profiles[p.Name]; ok {
@@ -369,17 +379,36 @@ func (s *Server) buildOptions(ro *CompileOptions) (core.Options, int) {
 }
 
 // cacheKey derives the content address of one compilation: the canonical
-// (pretty-printed) spec text — so formatting, comments, and header-name
-// choices that normalize away do not fragment the cache — plus the full
-// profile fingerprint and the outcome-relevant options fingerprint. The
-// profile contributes its Fingerprint, not its Name: names do not pin the
-// architecture or the objective, and a name-keyed cache could alias a
-// tofino result onto an fpga request if two registrations ever shared a
-// name (see hw.Profile.Fingerprint).
-func cacheKey(spec *pir.Spec, source string, profile hw.Profile, opts core.Options) string {
-	canonical := source
-	if printed, err := p4.Print(spec); err == nil {
-		canonical = printed
+// spec form (pir.Canonicalize) — so formatting, comments, state renames,
+// rule reorderings, and field-layout shifts that normalize away do not
+// fragment the cache — plus the full profile fingerprint and the
+// outcome-relevant options fingerprint. The profile contributes its
+// Fingerprint, not its Name: names do not pin the architecture or the
+// objective, and a name-keyed cache could alias a tofino result onto an
+// fpga request if two registrations ever shared a name (see
+// hw.Profile.Fingerprint).
+//
+// Alias requests coalescing onto one entry means the cached response —
+// program text, program JSON, certificate — is rendered in the names of
+// whichever alias compiled first; verdict, entries, and stages are
+// identical across aliases by the canonicalizer's soundness argument.
+//
+// When canonicalization fails the key falls back to the pretty-printed
+// source, and failing that to the raw request source; each fallback is
+// counted (hawkd_cache_key_fallback_total) instead of silently keying on
+// text that spurious formatting differences would fragment.
+func (s *Server) cacheKey(spec *pir.Spec, source string, profile hw.Profile, opts core.Options) string {
+	var canonical string
+	if canon, _, err := pir.Canonicalize(spec); err == nil {
+		canonical = canon.String()
+	} else {
+		s.cacheKeyFallback.inc()
+		if printed, perr := p4.Print(spec); perr == nil {
+			canonical = printed
+		} else {
+			s.cacheKeyFallback.inc()
+			canonical = source
+		}
 	}
 	h := sha256.New()
 	h.Write([]byte(canonical))
@@ -489,7 +518,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // returns verdict unknown while the flight keeps running for any other
 // waiters.
 func (s *Server) compileVia(reqCtx context.Context, spec *pir.Spec, source string, profile hw.Profile, opts core.Options, want int) (*outcome, string) {
-	key := cacheKey(spec, source, profile, opts)
+	key := s.cacheKey(spec, source, profile, opts)
 	if out, ok := s.cache.get(key); ok {
 		return out, CacheHit
 	}

@@ -16,6 +16,7 @@ import (
 	"parserhawk/internal/cert"
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/memo"
 	"parserhawk/internal/p4"
 	"parserhawk/internal/pir"
 	"parserhawk/internal/tables"
@@ -622,16 +623,18 @@ func TestCacheKeyIncludesArchAndObjective(t *testing.T) {
 	opts := core.DefaultOptions()
 	base := tables.TofinoScaled()
 
+	srv := New(Config{})
+
 	archAlias := base
 	archAlias.Arch = hw.Streaming
 	archAlias.WindowBits = 24
-	if cacheKey(spec, specA, base, opts) == cacheKey(spec, specA, archAlias, opts) {
+	if srv.cacheKey(spec, specA, base, opts) == srv.cacheKey(spec, specA, archAlias, opts) {
 		t.Fatal("cache key ignores the target architecture")
 	}
 
 	objAlias := base
 	objAlias.Objective = hw.MinimizeStages
-	if cacheKey(spec, specA, base, opts) == cacheKey(spec, specA, objAlias, opts) {
+	if srv.cacheKey(spec, specA, base, opts) == srv.cacheKey(spec, specA, objAlias, opts) {
 		t.Fatal("cache key ignores the synthesis objective")
 	}
 }
@@ -662,6 +665,109 @@ func TestPerProfileVerdictMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("/stats missing %q", want)
+		}
+	}
+}
+
+// specARenamed is specA with every state, header, and field renamed and
+// cosmetic noise added — a different program text whose canonical form is
+// identical. The canonical cache key must coalesce it (and the
+// whitespace/comment variants) onto specA's entry.
+const specARenamed = `
+// same parser, different names
+header hdr { bit<8> ty; }
+header body { bit<4> z; } /* was pay */
+parser Renamed {
+    state start {
+        extract(hdr);
+        transition select(hdr.ty) {
+            0x01    : hand_off;
+            default : accept;
+        }
+    }
+    state hand_off { extract(body); transition accept; }
+}
+`
+
+// TestAliasSpecsCoalesceToOneCacheEntry is the cache-key regression for
+// the canonicalized key: formatting, comment, and renaming variants of
+// one parser must trigger exactly one compilation and share one cache
+// entry, with no key ever derived from fallback text.
+func TestAliasSpecsCoalesceToOneCacheEntry(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/compile"
+
+	first := CompileResponse{}
+	for i, src := range []string{specA, specABlankLines, specARenamed} {
+		code, resp, raw := postCompile(t, url, CompileRequest{Source: src})
+		if code != http.StatusOK || resp.Verdict != VerdictOK {
+			t.Fatalf("variant %d: status %d verdict %q (%s)", i, code, resp.Verdict, raw)
+		}
+		if i == 0 {
+			if resp.Cache != CacheMiss {
+				t.Fatalf("first request disposition %q, want miss", resp.Cache)
+			}
+			first = resp
+			continue
+		}
+		if resp.Cache != CacheHit {
+			t.Fatalf("variant %d disposition %q, want hit", i, resp.Cache)
+		}
+		if resp.Entries != first.Entries || resp.Stages != first.Stages {
+			t.Fatalf("variant %d resources (%d,%d) diverged from (%d,%d)",
+				i, resp.Entries, resp.Stages, first.Entries, first.Stages)
+		}
+	}
+	if got := s.compiles.value(); got != 1 {
+		t.Fatalf("expected exactly one compilation, got %d", got)
+	}
+	if got := s.cacheKeyFallback.value(); got != 0 {
+		t.Fatalf("canonicalizable specs incremented the fallback counter %d times", got)
+	}
+
+	metrics, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	for _, want := range []string{"hawkd_cache_entries 1", "hawkd_cache_key_fallback_total 0"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestServeWithMemoServesTierCounters wires a memo cache into the server
+// and checks a compile populates the memo metric families.
+func TestServeWithMemoServesTierCounters(t *testing.T) {
+	mc, err := memo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, func(c *Config) { c.Memo = mc })
+	url := ts.URL + "/v1/compile"
+	if code, resp, raw := postCompile(t, url, CompileRequest{Source: specA}); code != http.StatusOK || resp.Verdict != VerdictOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if st := mc.Stats(); st.T1Misses != 1 || st.T1Stores != 1 {
+		t.Fatalf("memo did not see the compile: %+v", st)
+	}
+
+	metrics, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	for _, want := range []string{
+		`hawkd_memo_tier_misses_total{tier="1"} 1`,
+		`hawkd_memo_tier_stores_total{tier="1"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, buf.String())
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"parserhawk/internal/core"
+	"parserhawk/internal/memo"
 )
 
 // RunStats is the machine-readable record of one ParserHawk compilation in
@@ -37,6 +38,36 @@ type RunStats struct {
 	RulesPostPrune  int `json:"rules_post_prune,omitempty"`
 
 	Stats core.Stats `json:"stats"`
+
+	// Memo is the cross-compile memo's counter movement during this one
+	// compilation; nil when the harness ran without a memo (a pointer so
+	// pre-memo stats files still decode under DisallowUnknownFields).
+	Memo *MemoRunStats `json:"memo,omitempty"`
+}
+
+// MemoRunStats is the per-compilation slice of memo.Stats surfaced in the
+// hawkbench -stats report: how many tier hits/misses this specific
+// compile saw, and how long key canonicalization took.
+type MemoRunStats struct {
+	T1Hits      int64 `json:"t1_hits"`
+	T1AliasHits int64 `json:"t1_alias_hits"`
+	T1Misses    int64 `json:"t1_misses"`
+	T2Hits      int64 `json:"t2_hits"`
+	T2Misses    int64 `json:"t2_misses"`
+	T3Hits      int64 `json:"t3_hits"`
+	BytesRead   int64 `json:"bytes_read"`
+	BytesWrit   int64 `json:"bytes_written"`
+	CanonMS     int64 `json:"canon_ms"`
+}
+
+// memoDelta converts a memo.Stats movement into the stats-report form.
+func memoDelta(d memo.Stats) *MemoRunStats {
+	return &MemoRunStats{
+		T1Hits: d.T1Hits, T1AliasHits: d.T1AliasHits, T1Misses: d.T1Misses,
+		T2Hits: d.T2Hits, T2Misses: d.T2Misses, T3Hits: d.T3Hits,
+		BytesRead: d.BytesRead, BytesWrit: d.BytesWritten,
+		CanonMS: d.CanonNanos / 1e6,
+	}
 }
 
 // EncodeRunStats serializes a harness run's per-compilation records as

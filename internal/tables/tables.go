@@ -14,6 +14,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"parserhawk/internal/benchdata"
 	"parserhawk/internal/core"
 	"parserhawk/internal/hw"
+	"parserhawk/internal/memo"
 	"parserhawk/internal/vendorc"
 )
 
@@ -101,6 +103,12 @@ type Config struct {
 	// compilation the harness performs (both opt and orig modes). hawkbench
 	// -stats uses it to collect the solver-level JSON report.
 	StatsSink func(RunStats)
+	// Memo, when non-nil, routes optimized-mode compilations through the
+	// cross-compile memo (hawkbench -memo-dir). Naive-mode runs stay on the
+	// plain compiler: they exist as a timing baseline, and serving them
+	// from a cache would measure the cache, not the compiler. Each opt
+	// record's RunStats.Memo carries the per-compilation counter movement.
+	Memo *memo.Cache
 }
 
 // record reports one compilation into the sink, if any.
@@ -184,11 +192,21 @@ func runParserHawk(b benchdata.Benchmark, profile hw.Profile, cfg Config) Target
 	opts.FreshEncode = cfg.FreshEncode
 	opts.Workers = cfg.Workers
 	opts.NoExchange = cfg.NoExchange
+	before := cfg.Memo.Stats()
 	t0 := time.Now()
-	res, err := core.Compile(b.Spec, profile, opts)
+	var res *core.Result
+	var err error
+	if cfg.Memo != nil {
+		res, err = cfg.Memo.CompileContext(context.Background(), b.Spec, profile, opts)
+	} else {
+		res, err = core.Compile(b.Spec, profile, opts)
+	}
 	out := TargetResult{OptSeconds: time.Since(t0).Seconds()}
 	rec := RunStats{Program: b.Name(), Target: profile.Name, Mode: "opt",
 		FreshEncode: cfg.FreshEncode, Seconds: out.OptSeconds}
+	if cfg.Memo != nil {
+		rec.Memo = memoDelta(cfg.Memo.Stats().Sub(before))
+	}
 	if err != nil {
 		out.Err = err.Error()
 		rec.Error = out.Err
@@ -273,6 +291,14 @@ func shortVendorErr(err error) string {
 		s = s[:i]
 	}
 	return s
+}
+
+// Table3Alias runs the Table 3 suite with every spec passed through the
+// field/state-renaming alias rewrite (benchdata.Alias): the memo
+// hit-rate measurement corpus. Against a memo populated by a plain
+// Table3 run, most compiles should land as tier-1 alias hits.
+func Table3Alias(cfg Config) []T3Row {
+	return runTable3(benchdata.Alias(), TofinoScaled(), IPUScaled(), FPGAScaled(), cfg)
 }
 
 // Table3Wire runs the wire-scale benchmark set — real header widths on
