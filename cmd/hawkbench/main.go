@@ -37,7 +37,7 @@ func main() {
 		all         = flag.Bool("all", false, "regenerate every table and figure")
 		retarget    = flag.Bool("retarget", false, "demonstrate §7.3 cross-device retargetability")
 		runOrig     = flag.Bool("orig", false, "include the naive-mode timing columns (slow)")
-		filter      = flag.String("filter", "", "restrict Table 3 to benchmarks containing this substring")
+		filter      = flag.String("filter", "", "restrict Table 3 to benchmarks matching any comma-separated substring")
 		optTimeout  = flag.Duration("timeout", 2*time.Minute, "per-compilation budget for the optimized mode")
 		origTimeout = flag.Duration("orig-timeout", 10*time.Second, "per-compilation budget for the naive mode")
 		statsOut    = flag.String("stats", "", "write per-run solver statistics as JSON to this file (\"-\" for stdout)")

@@ -76,7 +76,9 @@ parser MultiKeySameMerged {
 func mustSpec(src string) *pir.Spec { return p4.MustParseSpec(src) }
 
 // All returns the complete evaluated benchmark suite: every Table 3 row
-// (29 programs, each compiled for two targets in the harness).
+// (29 programs from the paper's nine families plus the 9-program deep
+// protocol corpus of deep.go, each compiled for every target in the
+// harness).
 func All() []Benchmark {
 	eth := mustSpec(srcParseEthernet)
 	icmp := mustSpec(srcParseICMP)
@@ -92,7 +94,7 @@ func All() []Benchmark {
 	dash := mustSpec(srcDashV2)
 
 	const mplsIter = 4
-	return []Benchmark{
+	return append([]Benchmark{
 		{Family: "Parse Ethernet", Spec: eth},
 		{Family: "Parse Ethernet", Variant: "+R1", Spec: addRedundant(eth, 1)},
 		{Family: "Parse Ethernet", Variant: "-R3", Spec: mergeEntries(eth)},
@@ -131,7 +133,7 @@ func All() []Benchmark {
 
 		{Family: "Dash V2", Spec: dash},
 		{Family: "Dash V2", Variant: "+R1+R2", Spec: addUnreachable(addRedundant(dash, 1))},
-	}
+	}, Deep()...)
 }
 
 // ByName returns the benchmark with the given Name(), or ok=false.

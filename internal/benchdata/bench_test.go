@@ -10,8 +10,8 @@ import (
 
 func TestAllBenchmarksParse(t *testing.T) {
 	bs := All()
-	if len(bs) != 29 {
-		t.Errorf("suite has %d benchmarks, want 29 (the Table 3 rows)", len(bs))
+	if len(bs) != 38 {
+		t.Errorf("suite has %d benchmarks, want 38 (29 Table 3 rows + 9 deep protocols)", len(bs))
 	}
 	seen := map[string]bool{}
 	for _, b := range bs {
@@ -120,8 +120,8 @@ func TestByNameAndFamilies(t *testing.T) {
 		t.Error("ByName must fail for unknown names")
 	}
 	fams := Families()
-	if len(fams) != 10 {
-		t.Errorf("families=%d want 10: %v", len(fams), fams)
+	if len(fams) != 16 {
+		t.Errorf("families=%d want 16: %v", len(fams), fams)
 	}
 }
 

@@ -1,0 +1,232 @@
+package benchdata
+
+// Deep/encapsulated real-world parsers (the ROADMAP "scenario breadth"
+// corpus): tunnel stacks, mobile-core encapsulation, and loop- or
+// lookahead-heavy headers that stress varbit handling and pipelined
+// unrolling. Field widths follow the same scaling substitution as the
+// Table 3 programs (DESIGN.md): wire-width fields shrink to 1–4 bits so
+// exhaustive verification stays tractable, while the state/transition
+// structure — conditional tunnels, flag-driven optional headers,
+// length-driven varbits, segment-list loops — matches the real protocols.
+const (
+	// srcDeepQUIC discriminates QUIC long vs short headers by looking
+	// ahead at the form bit before committing to either layout, then
+	// extracts a connection id whose length is carried in the header
+	// itself (varbit).
+	srcDeepQUIC = `
+header udp   { bit<3> sport; bit<3> dport; }
+header longh { bit<1> form; bit<2> ver; bit<2> dcl; varbit<6> dcid; }
+header shrth { bit<1> form; bit<3> spin; }
+parser DeepQUIC {
+    state start {
+        extract(udp);
+        transition select(udp.dport) {
+            7       : quic;
+            default : accept;
+        }
+    }
+    state quic {
+        transition select(lookahead<bit<1>>()) {
+            1       : long_hdr;
+            default : short_hdr;
+        }
+    }
+    state long_hdr {
+        extract(longh, longh.dcl * 2);
+        transition accept;
+    }
+    state short_hdr { extract(shrth); transition accept; }
+}
+`
+
+	// srcDeepVXLAN parses a full VXLAN encapsulation chain: outer
+	// Ethernet, outer IP, UDP port dispatch, the VXLAN header, and the
+	// inner Ethernet — five layers deep.
+	srcDeepVXLAN = `
+header eth   { bit<4> etherType; }
+header ipv4  { bit<2> ver; bit<2> proto; }
+header udp   { bit<3> dport; }
+header vxlan { bit<2> flags; bit<4> vni; }
+header ieth  { bit<4> etherType; }
+parser DeepVXLAN {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            2       : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        extract(udp);
+        transition select(udp.dport) {
+            5       : parse_vxlan;
+            default : accept;
+        }
+    }
+    state parse_vxlan { extract(vxlan); transition parse_inner; }
+    state parse_inner { extract(ieth); transition accept; }
+}
+`
+
+	// srcDeepGeneve carries a length-driven option block (varbit sized by
+	// optLen) between the base header and the inner protocol dispatch.
+	srcDeepGeneve = `
+header eth { bit<3> etherType; }
+header gnv { bit<2> optLen; bit<2> proto; varbit<6> opts; }
+header inr { bit<3> tag; }
+parser DeepGeneve {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            6       : parse_geneve;
+            default : accept;
+        }
+    }
+    state parse_geneve {
+        extract(gnv, gnv.optLen * 2);
+        transition select(gnv.proto) {
+            1       : parse_inner;
+            default : accept;
+        }
+    }
+    state parse_inner { extract(inr); transition accept; }
+}
+`
+
+	// srcDeepGRE models GRE's flag-driven optional fields: the checksum
+	// and key headers are present only when their flag bits are set. Both
+	// flags are resolved in one two-part select (keying *after* the
+	// optional headers would put the key at a path-dependent offset,
+	// which no target can realize), so the payload state is reached at
+	// four different cursor depths.
+	srcDeepGRE = `
+header eth    { bit<4> etherType; }
+header gre    { bit<1> csum; bit<1> keyf; bit<2> proto; }
+header grecs  { bit<3> checksum; }
+header grekey { bit<4> key; }
+header inr    { bit<3> tag; }
+parser DeepGRE {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            4       : parse_gre;
+            default : accept;
+        }
+    }
+    state parse_gre {
+        extract(gre);
+        transition select(gre.csum, gre.keyf) {
+            (1, 1)  : parse_csum_key;
+            (1, 0)  : parse_csum;
+            (0, 1)  : parse_key;
+            default : payload;
+        }
+    }
+    state parse_csum_key { extract(grecs); transition parse_key; }
+    state parse_csum { extract(grecs); transition payload; }
+    state parse_key { extract(grekey); transition payload; }
+    state payload { extract(inr); transition accept; }
+}
+`
+
+	// srcDeepGTPU is the mobile-core GTP-U encapsulation with its chained
+	// extension headers: each extension carries a next-extension flag, so
+	// the parser loops until the chain ends (pipelined targets unroll).
+	srcDeepGTPU = `
+header udp  { bit<3> dport; }
+header gtpu { bit<2> flags; bit<2> msgType; bit<1> ext; }
+header gext { bit<3> content; bit<1> more; }
+header inr  { bit<2> tag; }
+parser DeepGTPU {
+    state start {
+        extract(udp);
+        transition select(udp.dport) {
+            4       : parse_gtpu;
+            default : accept;
+        }
+    }
+    state parse_gtpu {
+        extract(gtpu);
+        transition select(gtpu.ext) {
+            1       : parse_ext;
+            default : payload;
+        }
+    }
+    state parse_ext {
+        extract(gext);
+        transition select(gext.more) {
+            1       : parse_ext;
+            default : payload;
+        }
+    }
+    state payload { extract(inr); transition accept; }
+}
+`
+
+	// srcDeepSRv6 walks an SRv6 segment list: after the routing header,
+	// segments are consumed one per iteration, and a lookahead at the
+	// next segment's tag decides whether to keep walking — a loop whose
+	// exit condition lives ahead of the cursor.
+	srcDeepSRv6 = `
+header ipv6 { bit<3> nextHdr; }
+header srh  { bit<2> segsLeft; bit<2> nextHdr; }
+header seg  { bit<2> tag; bit<2> sid; }
+parser DeepSRv6 {
+    state start {
+        extract(ipv6);
+        transition select(ipv6.nextHdr) {
+            4       : parse_srh;
+            default : accept;
+        }
+    }
+    state parse_srh { extract(srh); transition parse_seg; }
+    state parse_seg {
+        extract(seg);
+        transition select(lookahead<bit<2>>()) {
+            3       : parse_seg;
+            default : accept;
+        }
+    }
+}
+`
+)
+
+// deepIter bounds the two loopy deep parsers (GTP-U extension chains and
+// SRv6 segment lists), fixing the unroll depth on pipelined targets.
+const deepIter = 4
+
+// Deep returns the deep/encapsulated protocol suite. The suite is part of
+// All(): every benchmark compiles and certifies on all registered scaled
+// profiles and joins the Table 3 and BENCH_baseline reporting.
+func Deep() []Benchmark {
+	quic := mustSpec(srcDeepQUIC)
+	vxlan := mustSpec(srcDeepVXLAN)
+	geneve := mustSpec(srcDeepGeneve)
+	gre := mustSpec(srcDeepGRE)
+	gtpu := mustSpec(srcDeepGTPU)
+	srv6 := mustSpec(srcDeepSRv6)
+
+	return []Benchmark{
+		{Family: "Deep QUIC", Spec: quic},
+		{Family: "Deep QUIC", Variant: "+R1", Spec: addRedundant(quic, 1)},
+
+		{Family: "Deep VXLAN", Spec: vxlan},
+		{Family: "Deep VXLAN", Variant: "+R2", Spec: addUnreachable(vxlan)},
+
+		{Family: "Deep Geneve", Spec: geneve},
+
+		{Family: "Deep GRE", Spec: gre},
+		{Family: "Deep GRE", Variant: "-R3", Spec: mergeEntries(gre)},
+
+		{Family: "Deep GTP-U", Spec: gtpu, MaxIterations: deepIter},
+
+		{Family: "Deep SRv6", Spec: srv6, MaxIterations: deepIter},
+	}
+}

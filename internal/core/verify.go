@@ -215,6 +215,7 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 			in := make(bitstream.Bits, v.maxLen)
 			var window []int     // absolute positions of s's key window
 			var pathWindow []int // key windows of the interior hops
+			var dontcare []int   // target rule's masked-out window positions
 			for pass := 0; pass < 3; pass++ {
 				pos := 0
 				dict := bitstream.Dict{}
@@ -244,6 +245,11 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 					step(si, rules[i])
 				}
 				window = collect(s, window[:0])
+				if target >= 0 {
+					dontcare = v.dontcarePositions(in, pos, s, v.spec.States[s].Rules[target])
+				} else {
+					dontcare = nil
+				}
 				step(s, target)
 			}
 			suite = append(suite, in)
@@ -268,9 +274,57 @@ func (v *verifier) directedSuite() []bitstream.Bits {
 				flipped[ip] ^= 1
 				suite = append(suite, flipped)
 			}
+			// Don't-care-plane coverage: the base pattern leaves a rule's
+			// masked-out bits at whatever the walk produced (usually 0),
+			// so an implementation that is only wrong on the other setting
+			// of a don't-care bit — e.g. a split-key realization that
+			// drops the mask conjunct of one fragment — survives every
+			// input above. Flip each don't-care bit to visit its
+			// unexplored plane, and pair each such flip with every
+			// one-bit window near-miss: that two-bit neighbourhood is
+			// exactly where a dropped mask conjunct first becomes
+			// observable.
+			for _, dp := range dontcare {
+				dflip := in.Clone()
+				dflip[dp] ^= 1
+				suite = append(suite, dflip)
+				for _, ip := range window {
+					if ip == dp {
+						continue
+					}
+					both := dflip.Clone()
+					both[ip] ^= 1
+					suite = append(suite, both)
+				}
+			}
 		}
 	}
 	return suite
+}
+
+// dontcarePositions returns the in-range absolute input positions of the
+// key-window bits that rule r's mask ignores, with state si's cursor at
+// pos — the bits writePatternAll leaves untouched.
+func (v *verifier) dontcarePositions(in bitstream.Bits, pos, si int, r pir.Rule) []int {
+	total := 0
+	for _, p := range v.keys[si] {
+		total += p.BitWidth()
+	}
+	var out []int
+	bit := 0
+	for _, p := range v.keys[si] {
+		w := p.BitWidth()
+		for j := 0; j < w; j++ {
+			shift := uint(total - bit - 1)
+			if r.Mask>>shift&1 == 0 {
+				if ip := pos + p.RelOff + j; ip >= 0 && ip < len(in) {
+					out = append(out, ip)
+				}
+			}
+			bit++
+		}
+	}
+	return out
 }
 
 // writePatternAll writes a rule pattern into a state's key windows,

@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parserhawk/internal/hw"
+	"parserhawk/internal/pir"
+)
+
+// Seed is one corpus entry for a campaign.
+type Seed struct {
+	Name string
+	Spec *pir.Spec
+	// MaxIterations bounds loopy seeds (0 = defaults), exactly as
+	// benchdata.Benchmark.MaxIterations does.
+	MaxIterations int
+}
+
+// CampaignConfig drives Run. Zero values pick conservative defaults.
+type CampaignConfig struct {
+	Config
+	// Profiles to fuzz against; each profile runs the full corpus and
+	// mutation budget independently and deterministically.
+	Profiles []hw.Profile
+	// Mutations is the number of mutants checked per profile (default 50).
+	Mutations int
+	// Edits per mutant (default 2).
+	Edits int
+	// ShrinkChecks bounds property evaluations per shrink (default 400).
+	ShrinkChecks int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// CampaignResult summarises one Run.
+type CampaignResult struct {
+	Checked  int // specs checked (seeds + mutants), across all profiles
+	Outcomes map[Outcome]int
+	// SeedDivergences are divergences on *unmutated* seeds — these are
+	// unexplained toolchain bugs and the campaign's hardest failure.
+	SeedDivergences []*Divergence
+	// Divergences are mutant divergences, already shrunk; each carries
+	// the minimal spec that still exhibits the disagreement.
+	Divergences []*Divergence
+}
+
+// Failed reports whether the campaign found any divergence.
+func (r *CampaignResult) Failed() bool {
+	return len(r.SeedDivergences) > 0 || len(r.Divergences) > 0
+}
+
+// Run executes a deterministic differential campaign: every seed is checked
+// unmutated first (the corpus must be divergence-free), then the mutation
+// budget is spent on random mutants of random seeds. Each divergence is
+// shrunk before being reported. The error return is infrastructural only;
+// divergences are in the result.
+func Run(cfg CampaignConfig, seeds []Seed) (*CampaignResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("fuzz: empty seed corpus")
+	}
+	mutations := cfg.Mutations
+	if mutations <= 0 {
+		mutations = 50
+	}
+	edits := cfg.Edits
+	if edits <= 0 {
+		edits = 2
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &CampaignResult{Outcomes: map[Outcome]int{}}
+
+	for _, profile := range cfg.Profiles {
+		ccfg := cfg.Config
+		ccfg.Profile = profile
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(len(profile.Name))<<32 + int64(profile.Arch)))
+
+		for _, s := range seeds {
+			ccfg.Seed = rng.Int63()
+			d, out, err := Check(ccfg, s.Spec, s.MaxIterations)
+			if err != nil {
+				return nil, err
+			}
+			res.Checked++
+			res.Outcomes[out]++
+			if d != nil {
+				logf("UNEXPLAINED: seed %q diverged on %s: %s", s.Name, profile.Name, d.Detail)
+				res.SeedDivergences = append(res.SeedDivergences, shrinkDivergence(ccfg, d, s.MaxIterations, cfg.ShrinkChecks))
+			} else {
+				logf("seed %q on %s: %s", s.Name, profile.Name, out)
+			}
+		}
+
+		for i := 0; i < mutations; i++ {
+			s := seeds[rng.Intn(len(seeds))]
+			mut, trail := Mutate(rng, s.Spec, 1+rng.Intn(edits))
+			if mut == nil {
+				continue
+			}
+			ccfg.Seed = rng.Int63()
+			d, out, err := Check(ccfg, mut, s.MaxIterations)
+			if err != nil {
+				return nil, err
+			}
+			res.Checked++
+			res.Outcomes[out]++
+			if d == nil {
+				continue
+			}
+			d.Trail = trail
+			logf("mutant of %q diverged on %s (%s): %s", s.Name, profile.Name, trail, d.Detail)
+			res.Divergences = append(res.Divergences, shrinkDivergence(ccfg, d, s.MaxIterations, cfg.ShrinkChecks))
+		}
+		logf("profile %s done: %d checked so far", profile.Name, res.Checked)
+	}
+	return res, nil
+}
+
+// shrinkDivergence minimizes a divergence's spec while preserving its kind,
+// then re-checks the minimal spec to refresh the witnessing packet and
+// detail. The original divergence is returned unshrunk if minimization
+// somehow loses the behaviour (it cannot, short of budget exhaustion at
+// zero improvements, but the guard keeps the report honest).
+func shrinkDivergence(cfg Config, d *Divergence, maxIter, shrinkChecks int) *Divergence {
+	keep := func(c *pir.Spec) bool {
+		d2, out, err := Check(cfg, c, maxIter)
+		return err == nil && out == Diverged && d2.Kind == d.Kind
+	}
+	shrunk := Shrink(d.Spec, keep, shrinkChecks)
+	d2, out, err := Check(cfg, shrunk, maxIter)
+	if err != nil || out != Diverged || d2.Kind != d.Kind {
+		return d
+	}
+	d2.Trail = d.Trail
+	return d2
+}

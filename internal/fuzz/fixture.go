@@ -1,0 +1,55 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"parserhawk/internal/p4"
+)
+
+// FixtureName returns a stable, filesystem-safe name for the divergence's
+// regression fixture, derived from the shrunk spec's structural fingerprint
+// so re-discovering the same minimal spec never duplicates fixtures.
+func (d *Divergence) FixtureName() string {
+	sum := sha256.Sum256([]byte(p4.Fingerprint(d.Spec) + "|" + string(d.Kind)))
+	return fmt.Sprintf("fuzz_%s_%x", sanitize(string(d.Kind)), sum[:4])
+}
+
+// Fixture renders the divergence as a ready-to-commit benchdata regression
+// fixture: a commented, re-parseable P4 source carrying the profile, the
+// witnessing packet, and both oracle verdicts. Specs outside the printable
+// P4 subset (a shrink can strand a lookahead skip) fall back to the pir
+// debug rendering, still under the same header.
+func (d *Divergence) Fixture() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// hawkfuzz regression fixture %s\n", d.FixtureName())
+	fmt.Fprintf(&sb, "// oracle pair: %s\n", d.Kind)
+	fmt.Fprintf(&sb, "// profile:     %s\n", d.Profile)
+	if d.Trail != "" {
+		fmt.Fprintf(&sb, "// mutations:   %s\n", d.Trail)
+	}
+	fmt.Fprintf(&sb, "// packet:      %s\n", d.Input.String())
+	if d.Kind == KindLint {
+		fmt.Fprintf(&sb, "// claim:       %s\n", d.Claim.String())
+	}
+	for _, line := range strings.Split(d.Detail, "\n") {
+		fmt.Fprintf(&sb, "// %s\n", line)
+	}
+	src, err := p4.Print(d.Spec)
+	if err != nil {
+		fmt.Fprintf(&sb, "// (not printable as P4: %v)\n", err)
+		src = "/*\n" + d.Spec.String() + "*/\n"
+	}
+	sb.WriteString(src)
+	return sb.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, strings.ToLower(s))
+}

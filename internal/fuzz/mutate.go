@@ -1,0 +1,289 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"parserhawk/internal/pir"
+)
+
+// Mutate derives a random Validate-clean mutant of seed by applying `edits`
+// random edits (rule value/mask bit flips, target rewires, rule
+// duplication/deletion/priority swaps, default rewires, key-part splits).
+// The returned trail describes the edits applied, for reproduction. Mutants
+// that would change the seed's loop topology class (introduce a loop into a
+// loop-free seed, or a zero-progress cycle the seed did not have) are
+// rejected and retried: those leave the equivalence-contract envelope the
+// seed corpus was validated under. Returns (nil, "") when no clean mutant
+// emerged within the retry budget — rare, and callers just roll again.
+func Mutate(rng *rand.Rand, seed *pir.Spec, edits int) (*pir.Spec, string) {
+	if edits <= 0 {
+		edits = 1
+	}
+	seedLoops := seed.HasLoop()
+	seedZero := zeroProgressCycle(seed)
+	for attempt := 0; attempt < 24; attempt++ {
+		name, fields, states := cloneSpec(seed)
+		var trail []string
+		for e := 0; e < edits; e++ {
+			op := ops[rng.Intn(len(ops))]
+			if desc, ok := op(rng, fields, states); ok {
+				trail = append(trail, desc)
+			}
+		}
+		if len(trail) == 0 {
+			continue
+		}
+		mut, err := pir.New(name+"_mut", fields, states)
+		if err != nil {
+			continue
+		}
+		if mut.HasLoop() != seedLoops {
+			continue
+		}
+		if !seedZero && zeroProgressCycle(mut) {
+			continue
+		}
+		return mut, strings.Join(trail, "; ")
+	}
+	return nil, ""
+}
+
+// mutOp edits fields/states in place; it reports a description of the edit
+// and whether it applied (an op can be inapplicable, e.g. no keyed state).
+type mutOp func(rng *rand.Rand, fields []pir.Field, states []pir.State) (string, bool)
+
+var ops = []mutOp{opValueFlip, opMaskFlip, opRewireRule, opRewireDefault,
+	opDupRule, opDropRule, opSwapRules, opSplitKeyPart}
+
+// pickRuled returns a random state index with at least one rule, or -1.
+func pickRuled(rng *rand.Rand, states []pir.State) int {
+	var cands []int
+	for i := range states {
+		if len(states[i].Rules) > 0 {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+func keyWidth(st *pir.State) int {
+	w := 0
+	for _, p := range st.Key {
+		w += p.BitWidth()
+	}
+	return w
+}
+
+func randomTarget(rng *rand.Rand, n int) pir.Target {
+	switch rng.Intn(6) {
+	case 0:
+		return pir.AcceptTarget
+	case 1:
+		return pir.RejectTarget
+	default:
+		return pir.To(rng.Intn(n))
+	}
+}
+
+func opValueFlip(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := pickRuled(rng, states)
+	if si < 0 {
+		return "", false
+	}
+	st := &states[si]
+	ri := rng.Intn(len(st.Rules))
+	bit := rng.Intn(keyWidth(st))
+	st.Rules[ri].Value ^= 1 << uint(bit)
+	return fmt.Sprintf("flip value bit %d of %s/rule %d", bit, st.Name, ri), true
+}
+
+func opMaskFlip(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := pickRuled(rng, states)
+	if si < 0 {
+		return "", false
+	}
+	st := &states[si]
+	ri := rng.Intn(len(st.Rules))
+	bit := rng.Intn(keyWidth(st))
+	st.Rules[ri].Mask ^= 1 << uint(bit)
+	return fmt.Sprintf("flip mask bit %d of %s/rule %d", bit, st.Name, ri), true
+}
+
+func opRewireRule(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := pickRuled(rng, states)
+	if si < 0 {
+		return "", false
+	}
+	st := &states[si]
+	ri := rng.Intn(len(st.Rules))
+	t := randomTarget(rng, len(states))
+	st.Rules[ri].Next = t
+	return fmt.Sprintf("rewire %s/rule %d -> %v", st.Name, ri, t), true
+}
+
+func opRewireDefault(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := rng.Intn(len(states))
+	st := &states[si]
+	t := randomTarget(rng, len(states))
+	st.Default = t
+	return fmt.Sprintf("rewire %s/default -> %v", st.Name, t), true
+}
+
+func opDupRule(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := pickRuled(rng, states)
+	if si < 0 {
+		return "", false
+	}
+	st := &states[si]
+	ri := rng.Intn(len(st.Rules))
+	at := rng.Intn(len(st.Rules) + 1)
+	r := st.Rules[ri]
+	st.Rules = append(st.Rules, pir.Rule{})
+	copy(st.Rules[at+1:], st.Rules[at:])
+	st.Rules[at] = r
+	return fmt.Sprintf("duplicate %s/rule %d at %d", st.Name, ri, at), true
+}
+
+func opDropRule(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	si := pickRuled(rng, states)
+	if si < 0 {
+		return "", false
+	}
+	st := &states[si]
+	ri := rng.Intn(len(st.Rules))
+	st.Rules = append(st.Rules[:ri], st.Rules[ri+1:]...)
+	return fmt.Sprintf("drop %s/rule %d", st.Name, ri), true
+}
+
+func opSwapRules(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	var cands []int
+	for i := range states {
+		if len(states[i].Rules) >= 2 {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	st := &states[cands[rng.Intn(len(cands))]]
+	ri := rng.Intn(len(st.Rules) - 1)
+	st.Rules[ri], st.Rules[ri+1] = st.Rules[ri+1], st.Rules[ri]
+	return fmt.Sprintf("swap %s/rules %d,%d", st.Name, ri, ri+1), true
+}
+
+// opSplitKeyPart splits one key part into two adjacent slices — semantics
+// preserving on its own (KeyValue concatenates parts MSB-first), so it only
+// matters composed with other edits or synthesis key-assembly paths.
+func opSplitKeyPart(rng *rand.Rand, _ []pir.Field, states []pir.State) (string, bool) {
+	type cand struct{ si, pi int }
+	var cands []cand
+	for i := range states {
+		for j, p := range states[i].Key {
+			if p.BitWidth() >= 2 {
+				cands = append(cands, cand{i, j})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	c := cands[rng.Intn(len(cands))]
+	st := &states[c.si]
+	p := st.Key[c.pi]
+	w := p.BitWidth()
+	m := 1 + rng.Intn(w-1)
+	hi, lo := p, p
+	if p.Lookahead {
+		hi.Width = m
+		lo.Skip += m
+		lo.Width = w - m
+	} else {
+		hi.Hi = p.Lo + m
+		lo.Lo = p.Lo + m
+	}
+	st.Key = append(st.Key, pir.KeyPart{})
+	copy(st.Key[c.pi+2:], st.Key[c.pi+1:])
+	st.Key[c.pi] = hi
+	st.Key[c.pi+1] = lo
+	return fmt.Sprintf("split %s/key part %d at %d", st.Name, c.pi, m), true
+}
+
+// cloneSpec deep-copies a spec into the mutable (name, fields, states)
+// triple pir.New wants, so edits never alias the immutable seed.
+func cloneSpec(s *pir.Spec) (string, []pir.Field, []pir.State) {
+	fields := append([]pir.Field(nil), s.Fields...)
+	states := make([]pir.State, len(s.States))
+	for i, st := range s.States {
+		c := st
+		c.Extracts = append([]pir.Extract(nil), st.Extracts...)
+		c.Key = append([]pir.KeyPart(nil), st.Key...)
+		c.Rules = append([]pir.Rule(nil), st.Rules...)
+		states[i] = c
+	}
+	return s.Name, fields, states
+}
+
+// zeroProgressCycle reports whether the state graph has a cycle that can
+// iterate without consuming input — every state on it can extract zero bits
+// (no extracts, or only varbits whose length can resolve to zero). Such
+// cycles exhaust the interpreter's iteration budget at different points for
+// spec and program granularities, which is outside the equivalence contract
+// the seed corpus is validated under, so Mutate refuses to introduce one.
+func zeroProgressCycle(s *pir.Spec) bool {
+	mayZero := make([]bool, len(s.States))
+	for i := range s.States {
+		z := true
+		for _, e := range s.States[i].Extracts {
+			if e.LenField == "" {
+				z = false
+				break
+			}
+		}
+		mayZero[i] = z
+	}
+	// Cycle detection restricted to may-zero states.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(s.States))
+	var visit func(i int) bool
+	visit = func(i int) bool {
+		color[i] = gray
+		st := &s.States[i]
+		step := func(t pir.Target) bool {
+			if t.Kind != pir.ToState || !mayZero[t.State] {
+				return false
+			}
+			switch color[t.State] {
+			case gray:
+				return true
+			case white:
+				return visit(t.State)
+			}
+			return false
+		}
+		for _, r := range st.Rules {
+			if step(r.Next) {
+				return true
+			}
+		}
+		if step(st.Default) {
+			return true
+		}
+		color[i] = black
+		return false
+	}
+	for i := range s.States {
+		if mayZero[i] && color[i] == white && visit(i) {
+			return true
+		}
+	}
+	return false
+}

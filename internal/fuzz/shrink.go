@@ -1,0 +1,158 @@
+package fuzz
+
+import (
+	"parserhawk/internal/pir"
+)
+
+// Property reports whether a candidate spec still exhibits the behaviour
+// being minimized. Shrink only offers Validate-clean candidates, and the
+// property must be deterministic (Check with a fixed Config.Seed is).
+type Property func(*pir.Spec) bool
+
+// Shrink delta-debugs spec down to a locally-minimal spec for which keep
+// still holds: no single state, rule, extract, key part, or field can be
+// removed without losing the behaviour. Every accepted step re-validated
+// the property on the reduced spec, so the result is sound by
+// construction — it is not inferred from the original divergence.
+// maxChecks bounds property evaluations (<= 0 means 400); on exhaustion
+// the best spec found so far is returned.
+func Shrink(spec *pir.Spec, keep Property, maxChecks int) *pir.Spec {
+	if maxChecks <= 0 {
+		maxChecks = 400
+	}
+	checks := 0
+	for {
+		improved := false
+		for _, cand := range candidates(spec) {
+			if checks >= maxChecks {
+				return spec
+			}
+			checks++
+			if keep(cand) {
+				spec = cand
+				improved = true
+				break // restart candidate generation from the smaller spec
+			}
+		}
+		if !improved {
+			return spec
+		}
+	}
+}
+
+// candidates enumerates every one-step reduction of spec that still passes
+// pir validation, largest reductions first (whole states before single
+// rules before extracts, key parts, and fields).
+func candidates(spec *pir.Spec) []*pir.Spec {
+	var out []*pir.Spec
+	add := func(name string, fields []pir.Field, states []pir.State) {
+		if c, err := pir.New(name, fields, states); err == nil {
+			out = append(out, c)
+		}
+	}
+
+	// Drop a state (never the start state), retargeting dangling edges to
+	// the removed state's own default when possible — that preserves the
+	// most behaviour — and to reject otherwise.
+	for drop := 1; drop < len(spec.States); drop++ {
+		name, fields, states := cloneSpec(spec)
+		repl := states[drop].Default
+		if repl.Kind == pir.ToState && repl.State == drop {
+			repl = pir.RejectTarget
+		}
+		remap := func(t pir.Target) pir.Target {
+			if t.Kind == pir.ToState && t.State == drop {
+				t = repl // repl never points at drop itself
+			}
+			if t.Kind == pir.ToState && t.State > drop {
+				t.State--
+			}
+			return t
+		}
+		states = append(states[:drop], states[drop+1:]...)
+		for i := range states {
+			for j := range states[i].Rules {
+				states[i].Rules[j].Next = remap(states[i].Rules[j].Next)
+			}
+			states[i].Default = remap(states[i].Default)
+		}
+		add(name, fields, states)
+	}
+
+	// Drop a single rule.
+	for si := range spec.States {
+		for ri := range spec.States[si].Rules {
+			name, fields, states := cloneSpec(spec)
+			st := &states[si]
+			st.Rules = append(st.Rules[:ri], st.Rules[ri+1:]...)
+			add(name, fields, states)
+		}
+	}
+
+	// Drop a single extract.
+	for si := range spec.States {
+		for ei := range spec.States[si].Extracts {
+			name, fields, states := cloneSpec(spec)
+			st := &states[si]
+			st.Extracts = append(st.Extracts[:ei], st.Extracts[ei+1:]...)
+			add(name, fields, states)
+		}
+	}
+
+	// Drop a key part, re-projecting every rule's value and mask onto the
+	// narrowed key (KeyValue concatenates parts MSB-first in order). When
+	// the last part goes, the rules go with it: the state keeps only its
+	// default transition.
+	for si := range spec.States {
+		for pi := range spec.States[si].Key {
+			name, fields, states := cloneSpec(spec)
+			st := &states[si]
+			low := 0 // bits below the dropped part
+			for _, p := range st.Key[pi+1:] {
+				low += p.BitWidth()
+			}
+			w := st.Key[pi].BitWidth()
+			st.Key = append(st.Key[:pi], st.Key[pi+1:]...)
+			if len(st.Key) == 0 {
+				st.Rules = nil
+			} else {
+				lowMask := uint64(1)<<uint(low) - 1
+				for ri := range st.Rules {
+					r := &st.Rules[ri]
+					r.Value = r.Value>>uint(low+w)<<uint(low) | r.Value&lowMask
+					r.Mask = r.Mask>>uint(low+w)<<uint(low) | r.Mask&lowMask
+				}
+			}
+			add(name, fields, states)
+		}
+	}
+
+	// Drop a field nothing references any more.
+	for fi := range spec.Fields {
+		if fieldReferenced(spec, spec.Fields[fi].Name) {
+			continue
+		}
+		name, fields, states := cloneSpec(spec)
+		fields = append(fields[:fi], fields[fi+1:]...)
+		add(name, fields, states)
+	}
+
+	return out
+}
+
+func fieldReferenced(spec *pir.Spec, name string) bool {
+	for si := range spec.States {
+		st := &spec.States[si]
+		for _, e := range st.Extracts {
+			if e.Field == name || e.LenField == name {
+				return true
+			}
+		}
+		for _, p := range st.Key {
+			if !p.Lookahead && p.Field == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -24,14 +24,36 @@ func (r Result) Same(o Result) bool {
 	return r.Accepted == o.Accepted && r.Rejected == o.Rejected && r.Dict.Equal(o.Dict)
 }
 
+// TraceStep attributes one visited state's transition decision: Rule is the
+// index into State.Rules of the first-match rule that fired, or -1 when the
+// default target resolved the transition (keyless states always report -1).
+type TraceStep struct {
+	State int
+	Rule  int
+}
+
 // Run interprets the specification on input, visiting at most maxIter
 // states. maxIter <= 0 selects DefaultMaxIterations. This is the function
 // Spec(I) of §4 and the left half of the Appendix-13 simulator.
 func (s *Spec) Run(input bitstream.Bits, maxIter int) Result {
+	res, _ := s.run(input, maxIter, false)
+	return res
+}
+
+// RunTrace is Run plus rule-level attribution: step i of the trace explains
+// the transition taken out of Path[i]. The differential fuzzer uses it to
+// confront SAT-certified lint verdicts (a rule proved shadowed must never
+// fire, a default proved dead must never be taken) with observed executions.
+func (s *Spec) RunTrace(input bitstream.Bits, maxIter int) (Result, []TraceStep) {
+	return s.run(input, maxIter, true)
+}
+
+func (s *Spec) run(input bitstream.Bits, maxIter int, traced bool) (Result, []TraceStep) {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
 	res := Result{Dict: bitstream.Dict{}}
+	var trace []TraceStep
 	cur := 0
 	pos := 0
 	for iter := 0; iter < maxIter; iter++ {
@@ -44,29 +66,34 @@ func (s *Spec) Run(input bitstream.Bits, maxIter int) Result {
 		}
 		res.Consumed = pos
 		next := st.Default
+		fired := -1
 		if len(st.Key) > 0 {
 			key := s.KeyValue(st, res.Dict, input, pos)
-			for _, r := range st.Rules {
+			for ri, r := range st.Rules {
 				if key&r.Mask == r.Value&r.Mask {
 					next = r.Next
+					fired = ri
 					break
 				}
 			}
 		}
+		if traced {
+			trace = append(trace, TraceStep{State: cur, Rule: fired})
+		}
 		switch next.Kind {
 		case Accept:
 			res.Accepted = true
-			return res
+			return res, trace
 		case Reject:
 			res.Rejected = true
-			return res
+			return res, trace
 		default:
 			cur = next.State
 		}
 	}
 	// Iteration budget exhausted: the device would abort the packet.
 	res.Rejected = true
-	return res
+	return res, trace
 }
 
 // KeyValue evaluates a state's transition key given the fields extracted so

@@ -82,6 +82,8 @@ type Config struct {
 	// only the optimized results (fast mode for CI).
 	RunOrig bool
 	// Filter restricts benchmarks to those whose name contains the string.
+	// Comma-separated alternatives select the union ("Parse,Deep" matches
+	// both the Table 3 protocol suites and the deep-encapsulation corpus).
 	Filter string
 	// FreshEncode disables ParserHawk's incremental solving sessions:
 	// every entry-budget rung rebuilds its solver from scratch. The A/B
@@ -166,12 +168,27 @@ func runTable3(benches []benchdata.Benchmark, tof, ipu, fpga hw.Profile, cfg Con
 	cfg = cfg.withDefaults()
 	var rows []T3Row
 	for _, b := range benches {
-		if cfg.Filter != "" && !strings.Contains(b.Name(), cfg.Filter) {
+		if !matchFilter(b.Name(), cfg.Filter) {
 			continue
 		}
 		rows = append(rows, table3Row(b, tof, ipu, fpga, cfg))
 	}
 	return rows
+}
+
+// matchFilter implements Config.Filter: empty matches everything, and each
+// comma-separated alternative is a substring test against the benchmark
+// name.
+func matchFilter(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, alt := range strings.Split(filter, ",") {
+		if alt = strings.TrimSpace(alt); alt != "" && strings.Contains(name, alt) {
+			return true
+		}
+	}
+	return false
 }
 
 func table3Row(b benchdata.Benchmark, tof, ipu, fpga hw.Profile, cfg Config) T3Row {

@@ -237,3 +237,24 @@ func TestOrigModeOnSmallBenchmark(t *testing.T) {
 		t.Logf("note: naive mode faster than OPT on a tiny benchmark (%.2fx)", r.Speedup)
 	}
 }
+
+func TestMatchFilter(t *testing.T) {
+	cases := []struct {
+		name, filter string
+		want         bool
+	}{
+		{"Deep QUIC", "", true},
+		{"Deep QUIC", "Deep", true},
+		{"Parse MPLS", "Deep", false},
+		{"Parse MPLS", "Parse,Deep", true},
+		{"Deep SRv6", "Parse,Deep", true},
+		{"Multi-key", "Parse, Deep", false},
+		{"Deep GRE", "Parse, Deep", true},
+		{"Deep GRE", ",", false},
+	}
+	for _, c := range cases {
+		if got := matchFilter(c.name, c.filter); got != c.want {
+			t.Errorf("matchFilter(%q, %q) = %v, want %v", c.name, c.filter, got, c.want)
+		}
+	}
+}
